@@ -1,0 +1,98 @@
+// Figure 10: heavy change detection under different numbers of partial keys
+// (1..6) — Recall Rate (a) and Precision Rate (b). Two epochs with flow
+// churn; the baselines are the sketch+heap family plus Elastic and UnivMon
+// (SS/USS are omitted in the paper's heavy-change figure as well).
+#include "harness.h"
+
+using namespace coco;
+using namespace coco::bench;
+
+namespace {
+
+// Builds the heavy-change roster: same algorithms as Fig. 10.
+std::vector<Solution> MakeRoster(size_t memory,
+                                 const std::vector<keys::TupleKeySpec>& specs,
+                                 uint64_t salt) {
+  std::vector<Solution> roster;
+  roster.push_back(MakeCoco(memory, specs, 2, 0xc0c0 ^ salt));
+  roster.push_back(MakePerKey<sketch::CHeap<DynKey>>("C-Heap", memory, specs));
+  roster.push_back(
+      MakePerKey<sketch::CmHeap<DynKey>>("CM-Heap", memory, specs));
+  roster.push_back(
+      MakePerKey<sketch::ElasticSketch<DynKey>>("Elastic", memory, specs));
+  roster.push_back(
+      MakePerKey<sketch::UnivMon<DynKey>>("UnivMon", memory, specs));
+  return roster;
+}
+
+}  // namespace
+
+int main() {
+  const auto all_specs = keys::TupleKeySpec::DefaultSix();
+  const size_t memory = KiB(500);
+  const double fraction = 1e-4;
+
+  const auto pair = trace::GenerateChurnPair(
+      trace::TraceConfig::CaidaLike(BenchPackets()), 0.4);
+  const auto truth_before = trace::CountTrace(pair.before);
+  const auto truth_after = trace::CountTrace(pair.after);
+  std::printf(
+      "Figure 10: heavy changes vs number of keys (CAIDA-like, 2 x %zu pkts, "
+      "%s)\n",
+      pair.before.size(), FormatBytes(memory).c_str());
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> recall, precision;
+
+  for (size_t nkeys = 1; nkeys <= all_specs.size(); ++nkeys) {
+    const std::vector<keys::TupleKeySpec> specs(all_specs.begin(),
+                                                all_specs.begin() + nkeys);
+    auto roster_before = MakeRoster(memory, specs, 1);
+    auto roster_after = MakeRoster(memory, specs, 2);
+    for (size_t a = 0; a < roster_before.size(); ++a) {
+      roster_before[a].reset();
+      roster_after[a].reset();
+      for (const Packet& p : pair.before) roster_before[a].update(p);
+      for (const Packet& p : pair.after) roster_after[a].update(p);
+
+      const uint64_t threshold = static_cast<uint64_t>(
+          fraction * 0.5 *
+          static_cast<double>(truth_before.Total() + truth_after.Total()));
+      std::vector<metrics::Accuracy> scores;
+      for (size_t i = 0; i < specs.size(); ++i) {
+        const auto est_diff = query::AbsDiff(roster_before[a].table(i),
+                                             roster_after[a].table(i));
+        const auto exact_before = truth_before.Aggregate(specs[i]);
+        const auto exact_after = truth_after.Aggregate(specs[i]);
+        std::unordered_map<DynKey, uint64_t> exact_diff;
+        for (const auto& [key, diff] :
+             exact_before.HeavyChanges(exact_after, 1)) {
+          exact_diff.emplace(key, diff);
+        }
+        scores.push_back(
+            metrics::ScoreThreshold(est_diff, exact_diff, threshold));
+      }
+      const auto mean = metrics::MeanAccuracy(scores);
+      if (nkeys == 1) {
+        names.push_back(roster_before[a].name);
+        recall.emplace_back();
+        precision.emplace_back();
+      }
+      recall[a].push_back(mean.recall);
+      precision[a].push_back(mean.precision);
+    }
+  }
+
+  PrintHeader("Fig 10(a): Recall Rate vs number of keys (1..6)");
+  PrintColumns("algo", {"1", "2", "3", "4", "5", "6"});
+  for (size_t a = 0; a < names.size(); ++a) PrintRow(names[a], recall[a]);
+
+  PrintHeader("Fig 10(b): Precision Rate vs number of keys (1..6)");
+  PrintColumns("algo", {"1", "2", "3", "4", "5", "6"});
+  for (size_t a = 0; a < names.size(); ++a) PrintRow(names[a], precision[a]);
+
+  std::printf(
+      "\nExpected shape (paper): Ours >0.95 on both metrics at 6 keys; "
+      "baselines\ndrop substantially as keys grow.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 11: 1-d hierarchical heavy hitters (source-IP bit hierarchy:
+// 32 prefixes + 1 empty key) vs memory — F1 (a) and ARE (b), CocoSketch vs
+// R-HHH (the only baseline fast enough for 33 keys, as in the paper).
+#include "harness.h"
+#include "sketch/rhhh.h"
+
+using namespace coco;
+using namespace coco::bench;
+
+int main() {
+  const auto levels = keys::PrefixSpec::Hierarchy();
+  const double fraction = 1e-4;
+  const std::vector<size_t> memories = {KiB(500), KiB(1000), KiB(1500),
+                                        KiB(2000), KiB(2500)};
+
+  const auto packets =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(BenchPackets()));
+  trace::ExactCounter<IPv4Key> truth;
+  for (const Packet& p : packets) truth.Add(IPv4Key(p.key.src_ip()), p.weight);
+  const uint64_t threshold =
+      static_cast<uint64_t>(fraction * static_cast<double>(truth.Total()));
+  std::printf("Figure 11: 1-d HHH (33 levels) vs memory, %zu pkts\n",
+              packets.size());
+
+  std::vector<double> coco_f1, coco_are, rhhh_f1, rhhh_are;
+  for (size_t mem : memories) {
+    core::CocoSketch<IPv4Key> coco(mem, 2);
+    sketch::RHhh<IPv4Key, keys::PrefixSpec> rhhh(mem, levels);
+    for (const Packet& p : packets) {
+      coco.Update(IPv4Key(p.key.src_ip()), p.weight);
+      rhhh.Update(IPv4Key(p.key.src_ip()), p.weight);
+    }
+    const auto coco_table = coco.Decode();
+    std::vector<metrics::Accuracy> cs, rs;
+    for (size_t level = 0; level < levels.size(); ++level) {
+      const auto exact = truth.Aggregate(levels[level]);
+      cs.push_back(metrics::ScoreThreshold(
+          query::Aggregate(coco_table, levels[level]), exact.counts(),
+          threshold));
+      rs.push_back(metrics::ScoreThreshold(rhhh.DecodeLevel(level),
+                                           exact.counts(), threshold));
+    }
+    const auto cm = metrics::MeanAccuracy(cs);
+    const auto rm = metrics::MeanAccuracy(rs);
+    coco_f1.push_back(cm.f1);
+    coco_are.push_back(cm.are);
+    rhhh_f1.push_back(rm.f1);
+    rhhh_are.push_back(rm.are);
+  }
+
+  PrintHeader("Fig 11(a): F1 Score vs memory (KB)");
+  PrintColumns("algo", {"500", "1000", "1500", "2000", "2500"});
+  PrintRow("Ours", coco_f1);
+  PrintRow("RHHH", rhhh_f1);
+
+  PrintHeader("Fig 11(b): ARE vs memory (KB)");
+  PrintColumns("algo", {"500", "1000", "1500", "2000", "2500"});
+  PrintRow("Ours", coco_are, " %8.5f");
+  PrintRow("RHHH", rhhh_are, " %8.5f");
+
+  std::printf(
+      "\nExpected shape (paper): Ours F1 > 0.995 already at 500KB; R-HHH "
+      "stays ~0.5\neven at 2.5MB; Ours ARE ~1900x smaller.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 12: 2-d hierarchical heavy hitters (source x destination IP bit
+// hierarchies, 33 x 33 = 1089 levels) vs memory — F1 (a) and ARE (b),
+// CocoSketch vs R-HHH.
+//
+// Scoring all 1089 levels against exact per-level ground truth is the
+// dominant cost, so this bench uses a smaller default packet count and a
+// subsampled level set for scoring (every level is still MEASURED; scoring
+// samples the level grid uniformly). Override with COCO_BENCH_PACKETS.
+#include "harness.h"
+#include "sketch/rhhh.h"
+
+using namespace coco;
+using namespace coco::bench;
+
+int main() {
+  const auto all_levels = keys::PrefixPairSpec::Hierarchy();
+  // Score on a uniform 7x7 grid of the 33x33 levels (49 level pairs).
+  std::vector<keys::PrefixPairSpec> scored;
+  for (int s = 32; s >= 0; s -= 5) {
+    for (int d = 32; d >= 0; d -= 5) {
+      scored.emplace_back(static_cast<uint8_t>(s), static_cast<uint8_t>(d));
+    }
+  }
+  const double fraction = 1e-4;
+  const std::vector<size_t> memories = {MiB(5), MiB(10), MiB(15), MiB(20),
+                                        MiB(25)};
+
+  const auto packets = trace::GenerateTrace(
+      trace::TraceConfig::CaidaLike(BenchPackets(500'000)));
+  trace::ExactCounter<IpPairKey> truth;
+  for (const Packet& p : packets) {
+    truth.Add(IpPairKey(p.key.src_ip(), p.key.dst_ip()), p.weight);
+  }
+  const uint64_t threshold =
+      static_cast<uint64_t>(fraction * static_cast<double>(truth.Total()));
+  std::printf(
+      "Figure 12: 2-d HHH (1089 levels measured, %zu scored) vs memory, "
+      "%zu pkts\n",
+      scored.size(), packets.size());
+
+  std::vector<double> coco_f1, coco_are, rhhh_f1, rhhh_are;
+  for (size_t mem : memories) {
+    core::CocoSketch<IpPairKey> coco(mem, 2);
+    sketch::RHhh<IpPairKey, keys::PrefixPairSpec> rhhh(mem, all_levels);
+    for (const Packet& p : packets) {
+      const IpPairKey key(p.key.src_ip(), p.key.dst_ip());
+      coco.Update(key, p.weight);
+      rhhh.Update(key, p.weight);
+    }
+    const auto coco_table = coco.Decode();
+    std::vector<metrics::Accuracy> cs, rs;
+    for (const auto& spec : scored) {
+      // Locate this spec's index in the full hierarchy for R-HHH decoding.
+      const size_t index =
+          static_cast<size_t>(32 - spec.src_bits()) * 33 +
+          static_cast<size_t>(32 - spec.dst_bits());
+      const auto exact = truth.Aggregate(spec);
+      cs.push_back(metrics::ScoreThreshold(query::Aggregate(coco_table, spec),
+                                           exact.counts(), threshold));
+      rs.push_back(metrics::ScoreThreshold(rhhh.DecodeLevel(index),
+                                           exact.counts(), threshold));
+    }
+    const auto cm = metrics::MeanAccuracy(cs);
+    const auto rm = metrics::MeanAccuracy(rs);
+    coco_f1.push_back(cm.f1);
+    coco_are.push_back(cm.are);
+    rhhh_f1.push_back(rm.f1);
+    rhhh_are.push_back(rm.are);
+  }
+
+  PrintHeader("Fig 12(a): F1 Score vs memory (MB)");
+  PrintColumns("algo", {"5", "10", "15", "20", "25"});
+  PrintRow("Ours", coco_f1);
+  PrintRow("RHHH", rhhh_f1);
+
+  PrintHeader("Fig 12(b): ARE vs memory (MB)");
+  PrintColumns("algo", {"5", "10", "15", "20", "25"});
+  PrintRow("Ours", coco_are, " %8.5f");
+  PrintRow("RHHH", rhhh_are, " %8.5f");
+
+  std::printf(
+      "\nExpected shape (paper): Ours F1 > 0.998 at 5MB; R-HHH ~0.16 even at "
+      "25MB;\nOurs ARE orders of magnitude smaller (paper: ~39843x).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 15(b): FPGA throughput of the hardware-friendly vs basic CocoSketch
+// across memory sizes (0.25..2 MB), from the calibrated pipeline model.
+#include <cstdio>
+
+#include "common/sizes.h"
+#include "hw/fpga_model.h"
+#include "hw/fpga_sim.h"
+
+using namespace coco;
+using namespace coco::hw;
+
+int main() {
+  std::printf("Figure 15(b): FPGA throughput (Mpps) vs memory\n");
+  std::printf("%-10s %10s %10s %10s %10s\n", "design", "0.25MB", "0.5MB",
+              "1MB", "2MB");
+
+  const size_t memories[] = {MiB(1) / 4, MiB(1) / 2, MiB(1), MiB(2)};
+  std::printf("%-10s", "Hardware");
+  for (size_t mem : memories) {
+    std::printf(" %10.1f",
+                FpgaPipelineModel::CocoHardwareFriendly(mem, 2).ThroughputMpps());
+  }
+  std::printf("\n%-10s", "Basic");
+  for (size_t mem : memories) {
+    std::printf(" %10.1f", FpgaPipelineModel::CocoBasic(mem, 2).ThroughputMpps());
+  }
+  std::printf("\n");
+
+  // Cycle-level cross-check: the dataflow simulator's cycles-per-packet at
+  // the analytic clock must reproduce the rows above.
+  const auto sim_hw = FpgaCycleSim::CocoPipeline(2, true);
+  const auto sim_basic = FpgaCycleSim::CocoPipeline(2, false);
+  std::printf("%-10s", "Hw(sim)");
+  for (size_t mem : memories) {
+    std::printf(" %10.1f",
+                sim_hw.ThroughputMpps(
+                    FpgaPipelineModel::CocoHardwareFriendly(mem, 2).clock_mhz));
+  }
+  std::printf("\n%-10s", "Basic(sim)");
+  for (size_t mem : memories) {
+    std::printf(" %10.1f",
+                sim_basic.ThroughputMpps(
+                    FpgaPipelineModel::CocoBasic(mem, 2).clock_mhz));
+  }
+  std::printf("\n");
+
+  const auto hw2 = FpgaPipelineModel::CocoHardwareFriendly(MiB(2), 2);
+  const auto basic2 = FpgaPipelineModel::CocoBasic(MiB(2), 2);
+  std::printf(
+      "\nAt 2MB: hardware-friendly %.0f Mpps (clock %.0f MHz, II=%zu) vs "
+      "basic %.0f Mpps\n(clock %.0f MHz, II=%zu) -> %.1fx.\n",
+      hw2.ThroughputMpps(), hw2.clock_mhz, hw2.initiation_interval,
+      basic2.ThroughputMpps(), basic2.clock_mhz, basic2.initiation_interval,
+      hw2.ThroughputMpps() / basic2.ThroughputMpps());
+  std::printf(
+      "Expected (paper): ~150 Mpps vs ~30 Mpps at 2MB — removing circular\n"
+      "dependencies buys ~5x.\n");
+  return 0;
+}

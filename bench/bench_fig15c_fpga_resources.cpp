@@ -1,0 +1,41 @@
+// Figure 15(c): FPGA resource usage (fraction of the Alveo U280) —
+// CocoSketch vs one Elastic instance vs six Elastic instances (the per-key
+// deployment needed to match CocoSketch's six partial keys).
+#include <cstdio>
+
+#include "common/sizes.h"
+#include "hw/fpga_model.h"
+
+using namespace coco;
+using namespace coco::hw;
+
+int main() {
+  const FpgaDeviceSpec dev = FpgaDeviceSpec::AlveoU280();
+  // Memory sized for ~90% F1 in heavy hitter detection (the paper's
+  // configuration rule, §7.4).
+  const auto coco = FpgaPipelineModel::CocoHardwareFriendly(KiB(512), 2);
+  const auto elastic1 = FpgaPipelineModel::Elastic(KiB(512));
+  const auto elastic6 = FpgaPipelineModel::Replicate(elastic1, 6);
+
+  std::printf("Figure 15(c): FPGA resource usage fractions (Alveo U280)\n");
+  std::printf("%-12s %12s %12s %12s\n", "design", "Registers", "LUTs",
+              "BlockRAM");
+  auto print = [&](const char* name, const FpgaDesign& d) {
+    std::printf("%-12s %11.4f%% %11.4f%% %11.4f%%\n", name,
+                100.0 * d.RegisterFraction(dev), 100.0 * d.LutFraction(dev),
+                100.0 * d.BramFraction(dev));
+  };
+  print("Ours", coco);
+  print("Elastic", elastic1);
+  print("6*Elastic", elastic6);
+
+  std::printf(
+      "\nRegisters: 6*Elastic / Ours = %.1fx (paper: ~45x smaller for "
+      "Ours)\n",
+      static_cast<double>(elastic6.registers) /
+          static_cast<double>(coco.registers));
+  std::printf(
+      "Block RAM: Ours %.1f%% vs 6*Elastic %.1f%% (paper: 5.8%% vs 34%%)\n",
+      100.0 * coco.BramFraction(dev), 100.0 * elastic6.BramFraction(dev));
+  return 0;
+}

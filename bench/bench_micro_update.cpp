@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks: per-update latency of every sketch in
+// the library on a realistic packet mix. Complements the figure benches with
+// framework-quality timing (warmup, iteration control, statistics).
+#include <benchmark/benchmark.h>
+
+#include "common/sizes.h"
+#include "core/cocosketch.h"
+#include "core/hw_cocosketch.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "sketch/elastic.h"
+#include "sketch/space_saving.h"
+#include "sketch/univmon.h"
+#include "sketch/uss.h"
+#include "trace/generators.h"
+
+namespace coco {
+namespace {
+
+const std::vector<Packet>& SharedTrace() {
+  static const std::vector<Packet> trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(200'000));
+  return trace;
+}
+
+// Streams the shared trace through `sketch`, one update per iteration.
+template <typename SketchT>
+void RunUpdates(benchmark::State& state, SketchT& sketch) {
+  const auto& trace = SharedTrace();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Packet& p = trace[i];
+    sketch.Update(p.key, p.weight);
+    i = (i + 1) % trace.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CocoSketchUpdate(benchmark::State& state) {
+  core::CocoSketch<FiveTuple> sketch(KiB(500), state.range(0));
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_CocoSketchUpdate)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_HwCocoSketchUpdate(benchmark::State& state) {
+  core::HwCocoSketch<FiveTuple> sketch(KiB(500), state.range(0));
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_HwCocoSketchUpdate)->Arg(1)->Arg(2);
+
+void BM_HwCocoSketchP4Update(benchmark::State& state) {
+  core::HwCocoSketch<FiveTuple> sketch(KiB(500), 2,
+                                       core::DivisionMode::kApproximate);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_HwCocoSketchP4Update);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  sketch::CountMinSketch<FiveTuple> sketch(KiB(500));
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_CountMinUpdate);
+
+void BM_CmHeapUpdate(benchmark::State& state) {
+  sketch::CmHeap<FiveTuple> sketch(KiB(500));
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_CmHeapUpdate);
+
+void BM_CountSketchUpdate(benchmark::State& state) {
+  sketch::CountSketch<FiveTuple> sketch(KiB(500));
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_CountSketchUpdate);
+
+void BM_SpaceSavingUpdate(benchmark::State& state) {
+  sketch::SpaceSaving<FiveTuple> sketch(KiB(500));
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_SpaceSavingUpdate);
+
+void BM_UssUpdate(benchmark::State& state) {
+  sketch::UnbiasedSpaceSaving<FiveTuple> sketch(KiB(500));
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_UssUpdate);
+
+void BM_ElasticUpdate(benchmark::State& state) {
+  sketch::ElasticSketch<FiveTuple> sketch(KiB(500));
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_ElasticUpdate);
+
+void BM_UnivMonUpdate(benchmark::State& state) {
+  sketch::UnivMon<FiveTuple> sketch(KiB(500));
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_UnivMonUpdate);
+
+void BM_CocoSketchDecode(benchmark::State& state) {
+  core::CocoSketch<FiveTuple> sketch(KiB(500), 2);
+  for (const Packet& p : SharedTrace()) sketch.Update(p.key, p.weight);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Decode());
+  }
+}
+BENCHMARK(BM_CocoSketchDecode);
+
+}  // namespace
+}  // namespace coco
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table 2: resource usage breakdown of one single-key sketch (Count-Min and
+// an R-HHH level) on a Tofino-class switch, plus the max-instances result
+// ("cannot support more than four single-key sketches").
+#include <cstdio>
+
+#include "hw/rmt_model.h"
+
+using namespace coco::hw;
+
+namespace {
+
+void PrintUsage(const char* name, const UsageFractions& u) {
+  std::printf("%-28s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n", name,
+              100.0 * u.hash_dist, 100.0 * u.stateful_alus,
+              100.0 * u.gateways, 100.0 * u.map_ram, 100.0 * u.sram);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 2: single-key sketch resource usage on Tofino ===\n");
+  std::printf("%-28s %10s %10s %10s %10s %10s\n", "Sketch", "HashDist",
+              "StatefulALU", "Gateway", "MapRAM", "SRAM");
+
+  const SwitchSpec tofino = SwitchSpec::Tofino();
+  {
+    RmtPipelineModel model(tofino);
+    model.Place(SketchResourceSpec::CountMin());
+    PrintUsage("Count-Min", model.Usage());
+  }
+  {
+    RmtPipelineModel model(tofino);
+    model.Place(SketchResourceSpec::RHhhLevel());
+    PrintUsage("R-HHH (per level)", model.Usage());
+  }
+
+  std::printf("\nPaper reference (Table 2):\n");
+  std::printf("%-28s %9s %11s %9s %9s %9s\n", "Count-Min", "20.83%", "16.67%",
+              "7.81%", "7.11%", "4.27%");
+  std::printf("%-28s %9s %11s %9s %9s %9s\n", "R-HHH", "22.22%", "16.67%",
+              "8.33%", "7.11%", "4.27%");
+
+  std::printf("\nMax instances fitting one switch:\n");
+  std::printf("  Count-Min : %zu   (paper: at most 4; hash units bind)\n",
+              RmtPipelineModel::MaxInstances(
+                  tofino, SketchResourceSpec::CountMin()));
+  std::printf("  Elastic   : %zu   (paper §7.4: at most 4; stateful ALUs bind)\n",
+              RmtPipelineModel::MaxInstances(tofino,
+                                             SketchResourceSpec::Elastic()));
+  std::printf("  CocoSketch: %zu   (one instance serves ALL partial keys)\n",
+              RmtPipelineModel::MaxInstances(
+                  tofino, SketchResourceSpec::CocoSketch(2)));
+  return 0;
+}

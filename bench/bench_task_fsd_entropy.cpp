@@ -1,0 +1,57 @@
+// Extension bench: distribution-level tasks from §1's task list — flow size
+// distribution and entropy — recovered from decoded sketches, compared to
+// exact ground truth. Shows CocoSketch's decoded table is usable beyond
+// point queries, and contrasts UnivMon's native G-sum entropy estimator.
+#include "harness.h"
+#include "metrics/distribution.h"
+
+using namespace coco;
+using namespace coco::bench;
+
+int main() {
+  const size_t memory = MiB(1);
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(BenchPackets()));
+  const auto truth = trace::CountTrace(trace);
+
+  const double true_entropy = metrics::EmpiricalEntropy(truth.counts());
+  const auto true_hist = metrics::FlowSizeHistogram(truth.counts());
+  std::printf(
+      "Distribution tasks (%zu pkts, %s): true entropy %.3f bits, %zu "
+      "flows\n\n",
+      trace.size(), FormatBytes(memory).c_str(), true_entropy,
+      truth.DistinctFlows());
+  std::printf("%-12s %12s %14s\n", "sketch", "entropy", "FSD TV-dist");
+
+  {
+    core::CocoSketch<FiveTuple> coco(memory, 2);
+    for (const Packet& p : trace) coco.Update(p.key, p.weight);
+    const auto decoded = coco.Decode();
+    std::printf("%-12s %12.3f %14.4f\n", "Coco",
+                metrics::EmpiricalEntropy(decoded),
+                metrics::HistogramDistance(
+                    true_hist, metrics::FlowSizeHistogram(decoded)));
+  }
+  {
+    sketch::UnbiasedSpaceSaving<FiveTuple> uss(memory);
+    for (const Packet& p : trace) uss.Update(p.key, p.weight);
+    const auto decoded = uss.Decode();
+    std::printf("%-12s %12.3f %14.4f\n", "USS",
+                metrics::EmpiricalEntropy(decoded),
+                metrics::HistogramDistance(
+                    true_hist, metrics::FlowSizeHistogram(decoded)));
+  }
+  {
+    sketch::UnivMon<FiveTuple> um(memory, 14, 1024);
+    for (const Packet& p : trace) um.Update(p.key, p.weight);
+    std::printf("%-12s %12.3f %14s   (native G-sum estimator)\n",
+                "UnivMon", um.EstimateEntropy(truth.Total()), "-");
+  }
+
+  std::printf(
+      "\nNote: decoded tables cover the heavy side of the distribution, so "
+      "the\nrecovered entropy under-weights mice; UnivMon's universal "
+      "recursion targets\nentropy directly. Both land near the true value at "
+      "this memory.\n");
+  return 0;
+}

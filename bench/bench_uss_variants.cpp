@@ -1,0 +1,61 @@
+// §7.2 / §2.3 microbench: USS implementation variants.
+//   naive USS     — O(n) scan per untracked packet (paper: <0.1 Mpps);
+//   optimized USS — hash table + bucket list (paper: <1/3 of a single-key
+//                   sketch's throughput);
+//   CocoSketch    — stochastic variance minimization (paper: ~100x USS-naive).
+#include "harness.h"
+
+using namespace coco;
+using namespace coco::bench;
+
+int main() {
+  const size_t memory = KiB(500);
+  // The naive variant is quadratic-ish: use a short trace for it and report
+  // Mpps (rate is what matters).
+  const auto trace = trace::GenerateTrace(
+      trace::TraceConfig::CaidaLike(BenchPackets(1'000'000)));
+  const size_t naive_packets = std::min<size_t>(trace.size(), 50'000);
+  const std::vector<Packet> short_trace(trace.begin(),
+                                        trace.begin() + naive_packets);
+  std::printf("USS implementation variants (%s memory)\n",
+              FormatBytes(memory).c_str());
+
+  {
+    auto naive = std::make_shared<sketch::NaiveUnbiasedSpaceSaving<FiveTuple>>(
+        memory);
+    const double mpps = metrics::MeasureThroughput(
+        short_trace,
+        [naive](const Packet& p) { naive->Update(p.key, p.weight); },
+        [naive] { naive->Clear(); }, 1);
+    std::printf("  naive USS (O(n) scan)        : %8.3f Mpps  (%zu pkts)\n",
+                mpps, short_trace.size());
+  }
+  {
+    auto uss =
+        std::make_shared<sketch::UnbiasedSpaceSaving<FiveTuple>>(memory);
+    const double mpps = metrics::MeasureThroughput(
+        trace, [uss](const Packet& p) { uss->Update(p.key, p.weight); },
+        [uss] { uss->Clear(); }, 3);
+    std::printf("  optimized USS (hash+buckets) : %8.3f Mpps\n", mpps);
+  }
+  {
+    auto cm = std::make_shared<sketch::CmHeap<FiveTuple>>(memory);
+    const double mpps = metrics::MeasureThroughput(
+        trace, [cm](const Packet& p) { cm->Update(p.key, p.weight); },
+        [cm] { cm->Clear(); }, 3);
+    std::printf("  single-key CM-Heap reference : %8.3f Mpps\n", mpps);
+  }
+  {
+    auto coco = std::make_shared<core::CocoSketch<FiveTuple>>(memory, 2);
+    const double mpps = metrics::MeasureThroughput(
+        trace, [coco](const Packet& p) { coco->Update(p.key, p.weight); },
+        [coco] { coco->Clear(); }, 5);
+    std::printf("  CocoSketch (d=2)             : %8.3f Mpps\n", mpps);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): naive USS < 0.1 Mpps; optimized USS < 1/3 "
+      "of the\nsingle-key sketch; CocoSketch ~100x faster than USS with <3%% "
+      "F1 loss.\n");
+  return 0;
+}

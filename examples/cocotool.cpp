@@ -1,0 +1,154 @@
+// cocotool — command-line front door to the library, tying the pieces into
+// an operator workflow:
+//
+//   cocotool generate <out.cocotrc> [packets] [caida|mawi]
+//       synthesize a workload and write it in the binary trace format
+//   cocotool measure <in.cocotrc> <out.state> [memoryKB] [d]
+//       run the trace through a CocoSketch and serialize the sketch state
+//       (what a data plane would ship to the controller)
+//   cocotool query <in.state> "<SQL>" [memoryKB] [d]
+//       restore the state and answer a §4.3 SQL query
+//
+// Example session:
+//   cocotool generate /tmp/t.cocotrc 500000
+//   cocotool measure /tmp/t.cocotrc /tmp/t.state 500 2
+//   cocotool query /tmp/t.state "SELECT SrcIP/16, SUM(Size) FROM flows \
+//       GROUP BY SrcIP/16 ORDER BY SUM(Size) DESC LIMIT 10" 500 2
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/sizes.h"
+#include "core/cocosketch.h"
+#include "query/sql.h"
+#include "trace/generators.h"
+#include "trace/trace_io.h"
+
+using namespace coco;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cocotool generate <out.cocotrc> [packets] [caida|mawi]\n"
+               "  cocotool measure <in.cocotrc> <out.state> [memKB] [d]\n"
+               "  cocotool query <in.state> \"<SQL>\" [memKB] [d]\n");
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* bytes) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) return false;
+  bytes->resize(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes->data()),
+          static_cast<std::streamsize>(bytes->size()));
+  return in.good();
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const size_t packets = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                  : 500'000;
+  const bool mawi = argc > 4 && std::strcmp(argv[4], "mawi") == 0;
+  const auto trace = trace::GenerateTrace(
+      mawi ? trace::TraceConfig::MawiLike(packets)
+           : trace::TraceConfig::CaidaLike(packets));
+  if (!trace::WriteTrace(argv[2], trace)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[2]);
+    return 1;
+  }
+  std::printf("wrote %zu packets (%s model) to %s\n", trace.size(),
+              mawi ? "MAWI" : "CAIDA", argv[2]);
+  return 0;
+}
+
+int Measure(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  bool ok = false;
+  const auto trace = trace::ReadTrace(argv[2], &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read trace %s\n", argv[2]);
+    return 1;
+  }
+  const size_t mem = KiB(argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 500);
+  const size_t d = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 2;
+  core::CocoSketch<FiveTuple> sketch(mem, d);
+  for (const Packet& p : trace) sketch.Update(p.key, p.weight);
+  if (!WriteFile(argv[3], sketch.SerializeState())) {
+    std::fprintf(stderr, "cannot write state %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("measured %zu packets into %s (d=%zu, %s), state -> %s\n",
+              trace.size(), FormatBytes(sketch.MemoryBytes()).c_str(), d,
+              argv[2], argv[3]);
+  return 0;
+}
+
+int RunQuery(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::vector<uint8_t> image;
+  if (!ReadFile(argv[2], &image)) {
+    std::fprintf(stderr, "cannot read state %s\n", argv[2]);
+    return 1;
+  }
+  const size_t mem = KiB(argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 500);
+  const size_t d = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 2;
+  core::CocoSketch<FiveTuple> sketch(mem, d);
+  if (!sketch.RestoreState(image)) {
+    std::fprintf(stderr,
+                 "state/geometry mismatch: pass the memKB and d used at "
+                 "measure time\n");
+    return 1;
+  }
+  std::string error;
+  const auto result = query::sql::Query(argv[3], sketch.Decode(), &error);
+  if (!result) {
+    std::fprintf(stderr, "SQL error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s(%zu rows)\n", query::sql::FormatResult(*result).c_str(),
+              result->rows.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    // With no arguments run a self-contained demo of the whole workflow.
+    std::printf("no subcommand given - running the demo workflow\n\n");
+    const std::string trc = "/tmp/cocotool_demo.cocotrc";
+    const std::string st = "/tmp/cocotool_demo.state";
+    char* gen[] = {argv[0], const_cast<char*>("generate"),
+                   const_cast<char*>(trc.c_str()),
+                   const_cast<char*>("400000")};
+    if (Generate(4, gen) != 0) return 1;
+    char* mea[] = {argv[0], const_cast<char*>("measure"),
+                   const_cast<char*>(trc.c_str()),
+                   const_cast<char*>(st.c_str())};
+    if (Measure(4, mea) != 0) return 1;
+    char* qry[] = {argv[0], const_cast<char*>("query"),
+                   const_cast<char*>(st.c_str()),
+                   const_cast<char*>(
+                       "SELECT SrcIP, SUM(Size) FROM flows GROUP BY SrcIP "
+                       "ORDER BY SUM(Size) DESC LIMIT 5")};
+    return RunQuery(4, qry);
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return Generate(argc, argv);
+  if (cmd == "measure") return Measure(argc, argv);
+  if (cmd == "query") return RunQuery(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,71 @@
+// Heavy-change monitoring example: two measurement windows, one CocoSketch
+// per window, change detection on any partial key after the fact.
+//
+// Also demonstrates trace persistence: the two windows are written to and
+// re-read from disk in the library's binary trace format, the way an
+// operator would replay captured epochs.
+//
+// Build & run:  ./build/examples/heavy_change_monitor
+#include <cstdio>
+#include <string>
+
+#include "common/sizes.h"
+#include "core/cocosketch.h"
+#include "keys/key_spec.h"
+#include "query/flow_table.h"
+#include "trace/generators.h"
+#include "trace/trace_io.h"
+
+using namespace coco;
+
+int main() {
+  // Two epochs with 40% flow churn between them.
+  const auto epochs =
+      trace::GenerateChurnPair(trace::TraceConfig::CaidaLike(500'000), 0.4);
+
+  // Persist and reload — the epochs round-trip through the trace format.
+  const std::string dir = "/tmp";
+  trace::WriteTrace(dir + "/epoch_before.cocotrc", epochs.before);
+  trace::WriteTrace(dir + "/epoch_after.cocotrc", epochs.after);
+  bool ok_b = false, ok_a = false;
+  const auto before = trace::ReadTrace(dir + "/epoch_before.cocotrc", &ok_b);
+  const auto after = trace::ReadTrace(dir + "/epoch_after.cocotrc", &ok_a);
+  if (!ok_b || !ok_a) {
+    std::fprintf(stderr, "trace round-trip failed\n");
+    return 1;
+  }
+  std::printf("replayed %zu + %zu packets from disk\n\n", before.size(),
+              after.size());
+
+  // One sketch per window.
+  core::CocoSketch<FiveTuple> w1(KiB(500), 2, /*seed=*/1);
+  core::CocoSketch<FiveTuple> w2(KiB(500), 2, /*seed=*/2);
+  for (const Packet& p : before) w1.Update(p.key, p.weight);
+  for (const Packet& p : after) w2.Update(p.key, p.weight);
+  const auto t1 = w1.Decode();
+  const auto t2 = w2.Decode();
+
+  // Change detection on three different partial keys from the same sketches.
+  const uint64_t threshold = before.size() / 500;  // 0.2% of window volume
+  for (const auto& spec :
+       {keys::TupleKeySpec::FullTuple(), keys::TupleKeySpec::SrcIp(),
+        keys::TupleKeySpec::SrcDstIp()}) {
+    const auto diff = query::AbsDiff(query::Aggregate(t1, spec),
+                                     query::Aggregate(t2, spec));
+    const auto heavy = query::FilterThreshold(diff, threshold);
+    std::printf("heavy changes on %-14s : %4zu flows (top: ",
+                spec.name().c_str(), heavy.size());
+    const auto top = query::TopRows(heavy, 1);
+    if (top.empty()) {
+      std::printf("none)\n");
+    } else {
+      std::printf("%s, delta %llu)\n", top[0].first.ToHex().c_str(),
+                  static_cast<unsigned long long>(top[0].second));
+    }
+  }
+
+  std::printf(
+      "\n=> the same two decoded tables answered change queries on three "
+      "keys that\n   were never configured before measurement.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Software-switch deployment example: CocoSketch behind an OVS-style
+// multi-threaded datapath (ring buffers + polling measurement threads, as in
+// Appendix B), with a NIC line-rate cap. Shows the end-to-end path from
+// packets on the wire to partial-key answers, plus the measurement CPU cost.
+//
+// Build & run:  ./build/examples/ovs_pipeline
+#include <cstdio>
+
+#include "common/sizes.h"
+#include "core/cocosketch.h"
+#include "keys/key_spec.h"
+#include "ovs/datapath_sim.h"
+#include "query/flow_table.h"
+#include "trace/generators.h"
+
+using namespace coco;
+
+int main() {
+  const auto packets =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(400'000));
+
+  ovs::DatapathConfig config;
+  config.num_queues = 2;          // two Rx queues, two measurement threads
+  config.nic_rate_mpps = 13.0;    // 40GbE at the trace's mean packet size
+  config.with_sketch = true;
+  config.sketch_memory_bytes = KiB(512);
+
+  std::printf("running %zu packets through a %zu-queue datapath...\n",
+              packets.size(), config.num_queues);
+  const auto result = ovs::RunDatapath(config, packets);
+  std::printf("  drained  : %llu packets\n",
+              static_cast<unsigned long long>(result.packets_processed));
+  std::printf("  rate     : %.2f Mpps (NIC cap %.1f)\n", result.mpps,
+              config.nic_rate_mpps);
+  std::printf("  upd CPU  : %.2f%% of measurement-thread cycles\n\n",
+              100.0 * result.measurement_cpu_fraction);
+
+  // The datapath decodes and merges its shared-nothing partitions on exit —
+  // query the merged control-plane table directly.
+  const auto by_dst =
+      query::Aggregate(result.merged_table, keys::TupleKeySpec::DstIp());
+  std::printf("top destinations across the datapath's traffic:\n");
+  for (const auto& [key, size] : query::TopRows(by_dst, 5)) {
+    std::printf("  %-16s %10llu pkts\n",
+                Ipv4ToString(LoadBE32(key.data())).c_str(),
+                static_cast<unsigned long long>(size));
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: the 60-second tour of the CocoSketch public API.
+//
+//   1. define the full key (here: the 5-tuple) and build one CocoSketch;
+//   2. stream packets through Update();
+//   3. decode the (FullKey, Size) table once;
+//   4. answer ANY partial-key query by GROUP BY aggregation — no key had to
+//      be chosen before measurement started.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "common/sizes.h"
+#include "core/cocosketch.h"
+#include "keys/key_spec.h"
+#include "query/flow_table.h"
+#include "trace/generators.h"
+
+using namespace coco;
+
+int main() {
+  // A synthetic 1M-packet CAIDA-like workload stands in for live traffic.
+  const auto packets =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(1'000'000));
+
+  // One sketch, 500 KB, d = 2 choice arrays — the paper's default.
+  core::CocoSketch<FiveTuple> sketch(KiB(500), /*d=*/2);
+
+  // Data plane: one cheap update per packet.
+  for (const Packet& p : packets) sketch.Update(p.key, p.weight);
+
+  // Control plane: decode once...
+  const query::FlowTable<FiveTuple> table = sketch.Decode();
+  std::printf("decoded %zu full-key flows from %s of sketch memory\n\n",
+              table.size(), FormatBytes(sketch.MemoryBytes()).c_str());
+
+  // ...then query ANY partial key after the fact.
+  for (const auto& spec : keys::TupleKeySpec::DefaultSix()) {
+    const auto partial = query::Aggregate(table, spec);
+    const auto top = query::TopRows(partial, 3);
+    std::printf("top flows by %s:\n", spec.name().c_str());
+    for (const auto& [key, size] : top) {
+      std::printf("  %-28s %10llu packets\n", key.ToHex().c_str(),
+                  static_cast<unsigned long long>(size));
+    }
+  }
+
+  // Partial keys never pre-registered also work — e.g. a /20 source prefix.
+  const auto by_prefix =
+      query::Aggregate(table, keys::TupleKeySpec::SrcIpPrefix(20));
+  std::printf("\nflows aggregated by SrcIP/20: %zu groups\n",
+              by_prefix.size());
+  return 0;
+}

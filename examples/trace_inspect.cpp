@@ -1,0 +1,80 @@
+// Workload inspection tool: prints the statistics that matter for sketch
+// sizing — flow counts, heavy-tail shape, entropy, per-key cardinalities —
+// for a trace file (library binary format) or, with no argument, a freshly
+// generated CAIDA-like workload. Feeds directly into the SketchPlanner:
+// the tool ends by printing the geometry the planner derives for the trace.
+//
+// Usage:  ./build/examples/trace_inspect [trace.cocotrc]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/sizes.h"
+#include "control/planner.h"
+#include "keys/key_spec.h"
+#include "metrics/distribution.h"
+#include "trace/generators.h"
+#include "trace/ground_truth.h"
+#include "trace/trace_io.h"
+
+using namespace coco;
+
+int main(int argc, char** argv) {
+  std::vector<Packet> packets;
+  if (argc > 1) {
+    bool ok = false;
+    packets = trace::ReadTrace(argv[1], &ok);
+    if (!ok) {
+      std::fprintf(stderr, "failed to read %s\n", argv[1]);
+      return 1;
+    }
+    std::printf("trace: %s\n", argv[1]);
+  } else {
+    packets = trace::GenerateTrace(trace::TraceConfig::CaidaLike(1'000'000));
+    std::printf("trace: generated CAIDA-like\n");
+  }
+
+  const auto truth = trace::CountTrace(packets);
+  std::printf("packets           : %zu\n", packets.size());
+  std::printf("distinct 5-tuples : %zu\n", truth.DistinctFlows());
+  std::printf("entropy           : %.3f bits\n",
+              metrics::EmpiricalEntropy(truth.counts()));
+
+  // Tail shape: share of traffic carried by the top 0.1% / 1% / 10% flows.
+  std::vector<uint64_t> sizes;
+  sizes.reserve(truth.DistinctFlows());
+  for (const auto& [key, count] : truth.counts()) sizes.push_back(count);
+  std::sort(sizes.rbegin(), sizes.rend());
+  const double total = static_cast<double>(truth.Total());
+  for (double frac : {0.001, 0.01, 0.1}) {
+    const size_t n = std::max<size_t>(1, static_cast<size_t>(
+                                             frac * sizes.size()));
+    uint64_t mass = 0;
+    for (size_t i = 0; i < n; ++i) mass += sizes[i];
+    std::printf("top %5.1f%% flows  : %5.1f%% of traffic\n", 100 * frac,
+                100.0 * static_cast<double>(mass) / total);
+  }
+
+  // Cardinality per partial key.
+  std::printf("\ndistinct flows per partial key:\n");
+  for (const auto& spec : keys::TupleKeySpec::DefaultSix()) {
+    std::printf("  %-16s %8zu\n", spec.name().c_str(),
+                truth.Aggregate(spec).DistinctFlows());
+  }
+
+  // Planner: geometry for a 99%-recall heavy-hitter task at threshold 1e-4.
+  control::SketchPlanner planner(17);
+  control::TaskRequirement task;
+  task.name = "heavy hitters";
+  task.heavy_fraction = 1e-4;
+  task.recall_target = 0.99;
+  task.epsilon = 0.1;
+  task.delta = 0.05;
+  const auto plan = planner.Plan(task);
+  std::printf(
+      "\nplanner: for 99%% recall at threshold 1e-4 use d=%zu, l=%zu "
+      "(%s; predicted\nrecall %.4f)\n",
+      plan.d, plan.l, FormatBytes(plan.memory_bytes).c_str(),
+      plan.predicted_recall);
+  return 0;
+}

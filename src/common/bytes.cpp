@@ -1,0 +1,26 @@
+#include "common/bytes.h"
+
+#include <cstdio>
+
+namespace coco {
+
+std::string Ipv4ToString(uint32_t addr_host_order) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr_host_order >> 24) & 0xff,
+                (addr_host_order >> 16) & 0xff, (addr_host_order >> 8) & 0xff,
+                addr_host_order & 0xff);
+  return buf;
+}
+
+std::string HexDump(const uint8_t* data, size_t len) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace coco

@@ -1,0 +1,51 @@
+// Endian-explicit byte packing helpers.
+//
+// All multi-byte header fields in this library are stored big-endian
+// (network order) inside key buffers, so that bit-prefix masking of an IPv4
+// address is a contiguous prefix of the byte buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace coco {
+
+inline void StoreBE16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+
+inline void StoreBE32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+inline void StoreBE64(uint8_t* p, uint64_t v) {
+  StoreBE32(p, static_cast<uint32_t>(v >> 32));
+  StoreBE32(p + 4, static_cast<uint32_t>(v));
+}
+
+inline uint16_t LoadBE16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+inline uint32_t LoadBE32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+inline uint64_t LoadBE64(const uint8_t* p) {
+  return (static_cast<uint64_t>(LoadBE32(p)) << 32) | LoadBE32(p + 4);
+}
+
+// Renders an IPv4 address held in host order as dotted decimal.
+std::string Ipv4ToString(uint32_t addr_host_order);
+
+// Hex string of a byte buffer, for debugging and test failure messages.
+std::string HexDump(const uint8_t* data, size_t len);
+
+}  // namespace coco

@@ -1,0 +1,36 @@
+// Lightweight runtime-check macros used across the library.
+//
+// COCO_CHECK(cond, msg) aborts with a diagnostic when `cond` is false; it is
+// always on (measurement code paths are cheap relative to per-packet hashing,
+// and silent corruption of a sketch is much worse than a predictable abort).
+// COCO_DCHECK compiles away in release builds and is meant for hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coco {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* cond, const char* msg) {
+  std::fprintf(stderr, "[coco] check failed at %s:%d: (%s) %s\n", file, line,
+               cond, msg);
+  std::abort();
+}
+
+}  // namespace coco
+
+#define COCO_CHECK(cond, msg)                              \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      ::coco::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define COCO_DCHECK(cond, msg) \
+  do {                         \
+  } while (0)
+#else
+#define COCO_DCHECK(cond, msg) COCO_CHECK(cond, msg)
+#endif

@@ -1,0 +1,77 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Sketch update paths need one cheap random draw per replacement decision
+// (CocoSketch replaces a bucket key with probability w/V), so we use
+// xoshiro256** seeded via SplitMix64 rather than std::mt19937: it is an order
+// of magnitude faster and has no observable bias at the scales we use.
+// Everything is seedable so experiments and tests are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace coco {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state and as
+// a standalone mixing function.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna. Not cryptographic; statistical quality is
+// ample for replacement sampling and workload synthesis.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xc0c05e7cULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses Lemire's multiply-shift reduction; the small
+  // modulo bias (< 2^-32 for bounds below 2^32) is irrelevant here.
+  uint64_t NextBelow(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  // 32-bit draw, convenient for hardware-style comparisons
+  // (replace iff rand32 < 2^32 * p).
+  uint32_t Next32() { return static_cast<uint32_t>(Next() >> 32); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace coco

@@ -1,0 +1,28 @@
+// Human-friendly size literals and conversion helpers used when configuring
+// sketch memory budgets (the paper specifies budgets in KB/MB).
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
+namespace coco {
+
+constexpr size_t KiB(size_t n) { return n * 1024; }
+constexpr size_t MiB(size_t n) { return n * 1024 * 1024; }
+
+inline std::string FormatBytes(size_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace coco

@@ -1,0 +1,85 @@
+#include "control/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coco::control {
+
+double SketchPlanner::PredictRecall(double heavy_fraction, size_t d,
+                                    size_t l) {
+  COCO_CHECK(heavy_fraction > 0.0 && heavy_fraction < 1.0,
+             "heavy fraction out of (0,1)");
+  // f / f̄ with f = φ·N and f̄ = (1-φ)·N.
+  const double ratio = heavy_fraction / (1.0 - heavy_fraction);
+  return 1.0 - std::pow(1.0 + static_cast<double>(l) * ratio,
+                        -static_cast<double>(d));
+}
+
+size_t SketchPlanner::BucketsForRecall(double heavy_fraction,
+                                       double recall_target, size_t d) const {
+  COCO_CHECK(recall_target > 0.0 && recall_target < 1.0,
+             "recall target out of (0,1)");
+  COCO_CHECK(d >= 1, "d must be positive");
+  // Invert 1 - (1 + l·r)^-d >= target  =>  l >= ((1-target)^{-1/d} - 1) / r.
+  const double r = heavy_fraction / (1.0 - heavy_fraction);
+  const double needed =
+      (std::pow(1.0 - recall_target, -1.0 / static_cast<double>(d)) - 1.0) /
+      r;
+  return static_cast<size_t>(std::ceil(std::max(1.0, needed)));
+}
+
+SketchPlan SketchPlanner::PlanForError(double epsilon, double delta) const {
+  COCO_CHECK(epsilon > 0.0, "epsilon must be positive");
+  COCO_CHECK(delta > 0.0 && delta < 1.0, "delta out of (0,1)");
+  SketchPlan plan;
+  plan.d = std::clamp<size_t>(
+      static_cast<size_t>(std::ceil(std::log2(1.0 / delta))), 1, 4);
+  plan.l = static_cast<size_t>(std::ceil(3.0 / (epsilon * epsilon)));
+  plan.memory_bytes = plan.d * plan.l * bucket_bytes_;
+  return plan;
+}
+
+SketchPlan SketchPlanner::Plan(const TaskRequirement& task) const {
+  SketchPlan plan = PlanForError(task.epsilon, task.delta);
+  const size_t recall_l =
+      BucketsForRecall(task.heavy_fraction, task.recall_target, plan.d);
+  plan.l = std::max(plan.l, recall_l);
+  plan.memory_bytes = plan.d * plan.l * bucket_bytes_;
+  plan.predicted_recall = PredictRecall(task.heavy_fraction, plan.d, plan.l);
+  return plan;
+}
+
+std::vector<SketchPlan> SketchPlanner::Provision(
+    const std::vector<TaskRequirement>& tasks, size_t budget_bytes) const {
+  std::vector<SketchPlan> ideal;
+  ideal.reserve(tasks.size());
+  size_t total_need = 0;
+  for (const TaskRequirement& t : tasks) {
+    ideal.push_back(Plan(t));
+    total_need += ideal.back().memory_bytes;
+  }
+
+  std::vector<SketchPlan> result;
+  result.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    SketchPlan plan = ideal[i];
+    if (total_need > budget_bytes && total_need > 0) {
+      // Proportional squeeze.
+      const double share = static_cast<double>(plan.memory_bytes) /
+                           static_cast<double>(total_need);
+      const size_t granted = static_cast<size_t>(
+          share * static_cast<double>(budget_bytes));
+      plan.l = granted / (plan.d * bucket_bytes_);
+      plan.memory_bytes = plan.d * plan.l * bucket_bytes_;
+    }
+    plan.predicted_recall =
+        plan.l == 0 ? 0.0
+                    : PredictRecall(tasks[i].heavy_fraction, plan.d, plan.l);
+    result.push_back(plan);
+  }
+  return result;
+}
+
+}  // namespace coco::control

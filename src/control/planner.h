@@ -1,0 +1,71 @@
+// Control-plane provisioning: turn the paper's analytical guarantees into
+// concrete sketch geometry.
+//
+// §5.3 works one instance by hand: "if we want to achieve a 99% recall rate
+// on the heavy hitter that constitutes at least 1% of the whole traffic, we
+// can set d = 2 and l = 900". SketchPlanner generalizes that arithmetic:
+//
+//   * recall target (Theorem 4): P[recorded] >= 1 - (1 + l·f/ f̄)^-d
+//     solved for l given d, the heavy-hitter fraction φ (f/ f̄ = φ/(1-φ)),
+//     and the target recall;
+//   * relative-error target (Theorem 3): l = 3/ε² with d = O(log 1/δ)
+//     realized as d = ceil(log2(1/δ)) clamped to [1, 4].
+//
+// Plan() combines both, and Provision() allocates a memory budget across
+// several measurement tasks proportionally to their computed needs — the
+// DREAM/SCREAM-style resource-management question (§8) answered with
+// CocoSketch's own bounds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace coco::control {
+
+struct TaskRequirement {
+  std::string name;
+  double heavy_fraction = 0.01;   // φ: smallest flow share that must be seen
+  double recall_target = 0.99;    // P[recorded] for such flows
+  double epsilon = 0.1;           // relative error scale of Theorem 3
+  double delta = 0.05;            // error-bound violation probability
+};
+
+struct SketchPlan {
+  size_t d = 2;
+  size_t l = 0;                  // buckets per array
+  size_t memory_bytes = 0;       // d * l * bucket_bytes
+  double predicted_recall = 0.0; // Theorem 4 at the chosen geometry
+};
+
+class SketchPlanner {
+ public:
+  // bucket_bytes: per-bucket footprint (17 for the 5-tuple CocoSketch).
+  explicit SketchPlanner(size_t bucket_bytes) : bucket_bytes_(bucket_bytes) {}
+
+  // Smallest l meeting the Theorem 4 recall target at fixed d.
+  size_t BucketsForRecall(double heavy_fraction, double recall_target,
+                          size_t d) const;
+
+  // Theorem 3 sizing: l = 3/eps^2, d = ceil(log2(1/delta)) clamped to [1,4].
+  SketchPlan PlanForError(double epsilon, double delta) const;
+
+  // Geometry satisfying BOTH requirements of a task (max of the two l's at
+  // the error-driven d).
+  SketchPlan Plan(const TaskRequirement& task) const;
+
+  // Theorem 4 recall prediction for a given geometry and flow share.
+  static double PredictRecall(double heavy_fraction, size_t d, size_t l);
+
+  // Splits `budget_bytes` across tasks proportionally to each task's
+  // standalone plan, then recomputes the per-task geometry at its share.
+  // Plans whose share cannot hold even one bucket per array get l = 0
+  // (caller decides whether to drop the task or raise the budget).
+  std::vector<SketchPlan> Provision(const std::vector<TaskRequirement>& tasks,
+                                    size_t budget_bytes) const;
+
+ private:
+  size_t bucket_bytes_;
+};
+
+}  // namespace coco::control

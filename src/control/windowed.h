@@ -1,0 +1,66 @@
+// Measurement-window management: "at the end of each measurement window,
+// CocoSketch's control plane will answer flow size queries" (§3.1).
+//
+// WindowedMeasurement owns two sketch instances and rotates them at epoch
+// boundaries, so the data plane keeps updating the active sketch while the
+// control plane decodes the sealed one — the standard double-buffered
+// telemetry pattern. It also retains the previous epoch's decoded table,
+// which makes heavy-change queries (|f_t - f_{t-1}|) a one-liner.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/check.h"
+#include "core/cocosketch.h"
+#include "query/flow_table.h"
+
+namespace coco::control {
+
+template <typename Key>
+class WindowedMeasurement {
+ public:
+  WindowedMeasurement(size_t memory_bytes_per_window, size_t d = 2,
+                      uint64_t seed = 0x717e)
+      : active_(memory_bytes_per_window, d, seed),
+        sealed_(memory_bytes_per_window, d, seed ^ 0x1) {}
+
+  // Data plane: update the active window.
+  void Update(const Key& key, uint32_t weight) {
+    active_.Update(key, weight);
+  }
+
+  // Seals the current epoch: decodes the active sketch into the "current"
+  // table, shifts the previous current table into "previous", and hands the
+  // (cleared) other instance to the data plane. Returns the epoch index just
+  // sealed.
+  uint64_t Rotate() {
+    previous_table_ = std::move(current_table_);
+    current_table_ = active_.Decode();
+    std::swap(active_, sealed_);
+    active_.Clear();
+    return epoch_++;
+  }
+
+  // Most recently sealed epoch's flow table.
+  const query::FlowTable<Key>& current() const { return current_table_; }
+  // Epoch before that (empty before two Rotate() calls).
+  const query::FlowTable<Key>& previous() const { return previous_table_; }
+
+  // Heavy changes between the two sealed epochs, at `threshold`.
+  query::FlowTable<Key> HeavyChanges(uint64_t threshold) const {
+    return query::FilterThreshold(
+        query::AbsDiff(previous_table_, current_table_), threshold);
+  }
+
+  uint64_t epochs_sealed() const { return epoch_; }
+
+ private:
+  core::CocoSketch<Key> active_;
+  core::CocoSketch<Key> sealed_;
+  query::FlowTable<Key> current_table_;
+  query::FlowTable<Key> previous_table_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace coco::control

@@ -1,0 +1,178 @@
+// Basic CocoSketch (§4.1) — stochastic variance minimization over d choices.
+//
+// Data structure: d arrays of l (key, value) buckets with independent hash
+// functions. Per packet (e, w):
+//   1. if e matches a mapped bucket in any array, add w to that bucket;
+//   2. otherwise add w to the smallest mapped bucket and replace its key
+//      with probability w / V_new (Theorem 1's variance-minimizing rule,
+//      restricted to the d mapped buckets — "power of d choices").
+// Exactly one value and at most one key are written per packet.
+//
+// With d == total bucket count this degenerates to Unbiased SpaceSaving;
+// with small d (2-4) the update cost is O(d) while estimates stay unbiased
+// with bounded variance (§5). Unbiasedness over arbitrary partial keys is
+// property-tested in tests/cocosketch_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "hash/bobhash.h"
+
+namespace coco::core {
+
+template <typename Key>
+class CocoSketch {
+ public:
+  struct Bucket {
+    Key key{};
+    uint32_t value = 0;
+  };
+
+  static constexpr size_t kMaxD = 8;
+
+  // Logical per-bucket footprint (key bytes + 32-bit counter), the layout a
+  // hardware deployment would use; memory budgets are divided by this.
+  static constexpr size_t BucketBytes() {
+    return Key::kSize + sizeof(uint32_t);
+  }
+
+  CocoSketch(size_t memory_bytes, size_t d = 2, uint64_t seed = 0xc0c0)
+      : d_(d),
+        l_(memory_bytes / (d * BucketBytes())),
+        hash_(seed),
+        rng_(seed ^ 0x5eedf00d),
+        buckets_(d_ * l_) {
+    COCO_CHECK(d_ >= 1 && d_ <= kMaxD, "d out of range");
+    COCO_CHECK(l_ >= 1, "memory too small for one bucket per array");
+  }
+
+  void Update(const Key& key, uint32_t weight) {
+    size_t idx[kMaxD] = {};
+    // Pass 1: if the flow is already tracked, increment it — variance
+    // increment zero (Theorem 2).
+    for (size_t i = 0; i < d_; ++i) {
+      idx[i] = Slot(i, key);
+      Bucket& b = buckets_[idx[i]];
+      if (b.value != 0 && b.key == key) {
+        b.value += weight;
+        return;
+      }
+    }
+    // Pass 2: smallest mapped bucket, ties broken uniformly at random
+    // (reservoir over equal minima, as §4.1 specifies).
+    size_t chosen = idx[0];
+    size_t ties = 1;
+    for (size_t i = 1; i < d_; ++i) {
+      const uint32_t v = buckets_[idx[i]].value;
+      const uint32_t best = buckets_[chosen].value;
+      if (v < best) {
+        chosen = idx[i];
+        ties = 1;
+      } else if (v == best) {
+        ++ties;
+        if (rng_.NextBelow(ties) == 0) chosen = idx[i];
+      }
+    }
+    Bucket& b = buckets_[chosen];
+    b.value += weight;
+    // Replace with probability weight / V_new, computed in exact integer
+    // arithmetic: replace iff rand32 * V < weight * 2^32.
+    if (static_cast<uint64_t>(rng_.Next32()) * b.value <
+        (static_cast<uint64_t>(weight) << 32)) {
+      b.key = key;
+    }
+  }
+
+  // Point query: the tracked value, 0 if untracked. (A key occupies at most
+  // one bucket at a time: matches are incremented in place and replacement
+  // writes only happen when no bucket matched.)
+  uint64_t Query(const Key& key) const {
+    for (size_t i = 0; i < d_; ++i) {
+      const Bucket& b = buckets_[Slot(i, key)];
+      if (b.value != 0 && b.key == key) return b.value;
+    }
+    return 0;
+  }
+
+  // Step 3 of the workflow (Fig. 1): the (FullKey, Size) table of all
+  // recorded flows, input to the partial-key query front-end.
+  std::unordered_map<Key, uint64_t> Decode() const {
+    std::unordered_map<Key, uint64_t> out;
+    out.reserve(buckets_.size());
+    for (const Bucket& b : buckets_) {
+      if (b.value == 0) continue;
+      auto [it, inserted] = out.emplace(b.key, b.value);
+      if (!inserted) it->second += b.value;
+    }
+    return out;
+  }
+
+  void Clear() {
+    for (Bucket& b : buckets_) b = Bucket{};
+  }
+
+  size_t MemoryBytes() const { return buckets_.size() * BucketBytes(); }
+  size_t d() const { return d_; }
+  size_t l() const { return l_; }
+
+  // Total recorded weight — conservation is a tested invariant: every
+  // packet's weight lands in exactly one bucket.
+  uint64_t TotalValue() const {
+    uint64_t total = 0;
+    for (const Bucket& b : buckets_) total += b.value;
+    return total;
+  }
+
+  // Control-plane readout: a flat image of the bucket state (geometry header
+  // + key bytes + 32-bit value per bucket), the payload a switch would ship
+  // to the controller. RestoreState() rejects images whose geometry does not
+  // match this instance.
+  std::vector<uint8_t> SerializeState() const {
+    std::vector<uint8_t> out;
+    out.reserve(16 + buckets_.size() * BucketBytes());
+    uint8_t header[16];
+    StoreBE64(header, d_);
+    StoreBE64(header + 8, l_);
+    out.insert(out.end(), header, header + 16);
+    for (const Bucket& b : buckets_) {
+      out.insert(out.end(), b.key.data(), b.key.data() + Key::kSize);
+      uint8_t value[4];
+      StoreBE32(value, b.value);
+      out.insert(out.end(), value, value + 4);
+    }
+    return out;
+  }
+
+  bool RestoreState(const std::vector<uint8_t>& image) {
+    if (image.size() != 16 + buckets_.size() * BucketBytes()) return false;
+    if (LoadBE64(image.data()) != d_ || LoadBE64(image.data() + 8) != l_) {
+      return false;
+    }
+    const uint8_t* p = image.data() + 16;
+    for (Bucket& b : buckets_) {
+      std::memcpy(b.key.data(), p, Key::kSize);
+      b.value = LoadBE32(p + Key::kSize);
+      p += BucketBytes();
+    }
+    return true;
+  }
+
+ private:
+  size_t Slot(size_t array, const Key& key) const {
+    return array * l_ + hash_(array, key.data(), key.size()) % l_;
+  }
+
+  size_t d_;
+  size_t l_;
+  hash::HashFamily hash_;
+  Rng rng_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace coco::core

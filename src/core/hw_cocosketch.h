@@ -1,0 +1,160 @@
+// Hardware-friendly CocoSketch (§4.2) — circular dependencies removed.
+//
+// Each of the d arrays runs an independent d=1 instance of stochastic
+// variance minimization: the mapped bucket's value is ALWAYS incremented
+// (no dependence on the key comparison) and the key is replaced with
+// probability w / V_new (no dependence across arrays). This matches what an
+// RMT pipeline or a fully pipelined FPGA design can execute at line rate.
+//
+// Because a flow may now be recorded in several arrays, queries take the
+// median of the per-array estimates (value if the key occupies its mapped
+// bucket, else 0) — the control-plane rule of §4.3. Each per-array estimate
+// is unbiased (Lemma 4) with variance f(e)·f̄(e)/l (Lemma 5); the median
+// sharpens the tail per Theorem 3.
+//
+// Division mode selects how the replacement probability is realized:
+//   kExact       — full-width reciprocal (FPGA variant, §6.1);
+//   kApproximate — Tofino math-unit top-4-bit reciprocal (P4 variant, §6.2).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "hash/bobhash.h"
+#include "hw/approx_divider.h"
+
+namespace coco::core {
+
+enum class DivisionMode {
+  kExact,        // FPGA variant
+  kApproximate,  // P4 / Tofino variant
+};
+
+template <typename Key>
+class HwCocoSketch {
+ public:
+  struct Bucket {
+    Key key{};
+    uint32_t value = 0;
+  };
+
+  static constexpr size_t kMaxD = 8;
+
+  static constexpr size_t BucketBytes() {
+    return Key::kSize + sizeof(uint32_t);
+  }
+
+  HwCocoSketch(size_t memory_bytes, size_t d = 2,
+               DivisionMode division = DivisionMode::kExact,
+               uint64_t seed = 0xc0c1)
+      : d_(d),
+        l_(memory_bytes / (d * BucketBytes())),
+        division_(division),
+        hash_(seed),
+        rng_(seed ^ 0x5eedf11d),
+        buckets_(d_ * l_) {
+    COCO_CHECK(d_ >= 1 && d_ <= kMaxD, "d out of range");
+    COCO_CHECK(l_ >= 1, "memory too small for one bucket per array");
+  }
+
+  void Update(const Key& key, uint32_t weight) {
+    for (size_t i = 0; i < d_; ++i) {
+      Bucket& b = buckets_[Slot(i, key)];
+      // Value stage: unconditional increment — no dependence on the key.
+      b.value += weight;
+      if (b.key == key) continue;  // matching key needs no replacement draw
+      // Key stage: replace w.p. weight / V_new via reciprocal comparison,
+      // exactly as the hardware pipelines execute it.
+      const uint32_t recip =
+          division_ == DivisionMode::kExact
+              ? hw::ApproxDivider::ExactReciprocal(b.value)
+              : hw::ApproxDivider::Reciprocal(b.value);
+      const uint64_t threshold = static_cast<uint64_t>(recip) * weight;
+      if (static_cast<uint64_t>(rng_.Next32()) < threshold) {
+        b.key = key;
+      }
+    }
+  }
+
+  // Per-array estimate: V if the key owns its mapped bucket, else 0
+  // (the estimator of Lemma 4).
+  uint64_t EstimateInArray(size_t array, const Key& key) const {
+    const Bucket& b = buckets_[Slot(array, key)];
+    return (b.value != 0 && b.key == key) ? b.value : 0;
+  }
+
+  // §4.3: "since one flow may appear in multiple arrays, we will take the
+  // median estimated size in different arrays as its final estimated size" —
+  // the median is over the arrays actually recording the flow (average of
+  // the middle two when that count is even). Flows recorded nowhere query
+  // as 0. The strictly unbiased Lemma-4 estimator (0 for absent arrays) is
+  // available per array via EstimateInArray.
+  uint64_t Query(const Key& key) const {
+    uint64_t est[kMaxD];
+    size_t recorded = 0;
+    for (size_t i = 0; i < d_; ++i) {
+      const uint64_t e = EstimateInArray(i, key);
+      if (e != 0) est[recorded++] = e;
+    }
+    return recorded == 0 ? 0 : Median(est, recorded);
+  }
+
+  // The strict Lemma-4 median: absent arrays contribute 0. Unbiased per
+  // array and tail-bounded per Theorem 3 (used by the Fig. 17(b) error-CDF
+  // analysis); under-reports flows recorded in fewer than d/2 arrays, which
+  // is why the reporting path above conditions on recorded arrays instead.
+  uint64_t UnbiasedQuery(const Key& key) const {
+    uint64_t est[kMaxD];
+    for (size_t i = 0; i < d_; ++i) est[i] = EstimateInArray(i, key);
+    return Median(est, d_);
+  }
+
+  // Full-key flow table: every key recorded anywhere, scored by Query().
+  std::unordered_map<Key, uint64_t> Decode() const {
+    std::unordered_map<Key, uint64_t> out;
+    out.reserve(buckets_.size());
+    for (const Bucket& b : buckets_) {
+      if (b.value == 0) continue;
+      out.emplace(b.key, 0);  // dedupe first, score below
+    }
+    for (auto& [key, est] : out) est = Query(key);
+    // Median-of-zeros can score a recorded key at 0; drop those — they are
+    // indistinguishable from unrecorded flows.
+    for (auto it = out.begin(); it != out.end();) {
+      it = it->second == 0 ? out.erase(it) : std::next(it);
+    }
+    return out;
+  }
+
+  void Clear() {
+    for (Bucket& b : buckets_) b = Bucket{};
+  }
+
+  size_t MemoryBytes() const { return buckets_.size() * BucketBytes(); }
+  size_t d() const { return d_; }
+  size_t l() const { return l_; }
+  DivisionMode division() const { return division_; }
+
+ private:
+  static uint64_t Median(uint64_t* v, size_t n) {
+    std::sort(v, v + n);
+    return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2;
+  }
+
+  size_t Slot(size_t array, const Key& key) const {
+    return array * l_ + hash_(array, key.data(), key.size()) % l_;
+  }
+
+  size_t d_;
+  size_t l_;
+  DivisionMode division_;
+  hash::HashFamily hash_;
+  Rng rng_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace coco::core

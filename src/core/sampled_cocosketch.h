@@ -1,0 +1,87 @@
+// Sampling front-end for CocoSketch — the NitroSketch-style extension the
+// paper's related-work section points at ("the sampling approach used in
+// NitroSketch can further improve the throughput. We leave this for future
+// work", §8).
+//
+// Update semantics: each packet is processed with probability p; processed
+// packets carry weight w/p, so every flow's expected inserted mass is exactly
+// its true mass and CocoSketch's unbiasedness (Lemma 3) is preserved end to
+// end. Skipping uses geometric countdowns — one RNG draw per PROCESSED
+// packet rather than per packet — which is where the speedup comes from.
+//
+// The cost is variance: inserted mass per flow is a scaled Binomial, adding
+// f(e)·w·(1-p)/p on top of the sketch's own variance. The ablation bench
+// (bench_ablation_sampling) quantifies the resulting throughput/F1 tradeoff.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/cocosketch.h"
+
+namespace coco::core {
+
+template <typename Key>
+class SampledCocoSketch {
+ public:
+  SampledCocoSketch(size_t memory_bytes, double sample_probability,
+                    size_t d = 2, uint64_t seed = 0xc0c2)
+      : probability_(sample_probability),
+        inverse_(1.0 / sample_probability),
+        sketch_(memory_bytes, d, seed),
+        rng_(seed ^ 0x5a3b1e) {
+    COCO_CHECK(sample_probability > 0.0 && sample_probability <= 1.0,
+               "sample probability out of (0, 1]");
+    countdown_ = NextGap();
+  }
+
+  void Update(const Key& key, uint32_t weight) {
+    if (probability_ >= 1.0) {
+      sketch_.Update(key, weight);
+      return;
+    }
+    if (countdown_ > 0) {
+      --countdown_;
+      return;
+    }
+    countdown_ = NextGap();
+    // Scale the weight so the inserted mass stays unbiased; round the
+    // fractional part stochastically to keep integer counters unbiased too.
+    const double scaled = static_cast<double>(weight) * inverse_;
+    const uint32_t base = static_cast<uint32_t>(scaled);
+    const double frac = scaled - static_cast<double>(base);
+    sketch_.Update(key, base + (rng_.Bernoulli(frac) ? 1 : 0));
+  }
+
+  uint64_t Query(const Key& key) const { return sketch_.Query(key); }
+
+  std::unordered_map<Key, uint64_t> Decode() const { return sketch_.Decode(); }
+
+  void Clear() {
+    sketch_.Clear();
+    countdown_ = NextGap();
+  }
+
+  size_t MemoryBytes() const { return sketch_.MemoryBytes(); }
+  double sample_probability() const { return probability_; }
+  const CocoSketch<Key>& inner() const { return sketch_; }
+
+ private:
+  // Geometric(p) gap: number of packets to skip before the next processed
+  // one. floor(log(U)/log(1-p)) with U ~ (0,1].
+  uint64_t NextGap() {
+    if (probability_ >= 1.0) return 0;
+    const double u = 1.0 - rng_.NextDouble();  // (0, 1]
+    return static_cast<uint64_t>(std::log(u) / std::log(1.0 - probability_));
+  }
+
+  double probability_;
+  double inverse_;
+  CocoSketch<Key> sketch_;
+  Rng rng_;
+  uint64_t countdown_ = 0;
+};
+
+}  // namespace coco::core

@@ -1,0 +1,82 @@
+// Multi-core deployment wrapper: N independent CocoSketch partitions, one
+// per worker thread, merged at decode time — the shared-nothing arrangement
+// the OVS datapath uses (Appendix B), packaged as a library type so software
+// deployments outside the datapath simulator get the same pattern.
+//
+// Threading contract: shard(i) may be updated concurrently with shard(j)
+// for i != j without synchronization (no shared mutable state); a single
+// shard must only be updated from one thread at a time. Decode() is a
+// control-plane operation and must not race with updates.
+//
+// Because each packet lands in exactly one shard, the merged table is an
+// exact sum of unbiased per-shard estimates — unbiasedness and mass
+// conservation survive sharding (tested in sharded_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "core/cocosketch.h"
+#include "query/flow_table.h"
+
+namespace coco::core {
+
+template <typename Key>
+class ShardedCocoSketch {
+ public:
+  // `total_memory` is split evenly across `shards`.
+  ShardedCocoSketch(size_t total_memory, size_t shards, size_t d = 2,
+                    uint64_t seed = 0x5a4d)
+      : shards_() {
+    COCO_CHECK(shards >= 1, "need at least one shard");
+    shards_.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      shards_.push_back(std::make_unique<CocoSketch<Key>>(
+          total_memory / shards, d, seed + 0x9e37 * s));
+    }
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  // The shard a worker thread owns. Each worker updates only its own shard.
+  CocoSketch<Key>& shard(size_t index) { return *shards_[index]; }
+  const CocoSketch<Key>& shard(size_t index) const { return *shards_[index]; }
+
+  // Routes by key hash — for callers that shard by flow rather than by
+  // receive queue (keeps each flow in one shard, which tightens per-flow
+  // error since a flow's mass is never split).
+  size_t ShardOf(const Key& key) const {
+    return key.Hash(0x51a2d) % shards_.size();
+  }
+
+  // Control plane: merged (FullKey, Size) table across all shards.
+  query::FlowTable<Key> Decode() const {
+    std::vector<query::FlowTable<Key>> partitions;
+    partitions.reserve(shards_.size());
+    for (const auto& s : shards_) partitions.push_back(s->Decode());
+    return query::MergeTables(partitions);
+  }
+
+  uint64_t TotalValue() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s->TotalValue();
+    return total;
+  }
+
+  void Clear() {
+    for (auto& s : shards_) s->Clear();
+  }
+
+  size_t MemoryBytes() const {
+    size_t total = 0;
+    for (const auto& s : shards_) total += s->MemoryBytes();
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<CocoSketch<Key>>> shards_;
+};
+
+}  // namespace coco::core

@@ -1,0 +1,46 @@
+// 32-bit Bob Jenkins hash ("Bob Hash", the paper's hash of choice for the CPU
+// implementation, reference [83]) plus a 64-bit Murmur3-style hash used where
+// we want 64 bits of output from one pass (e.g. deriving two indices).
+//
+// Both are seedable; independent hash functions are obtained by distinct
+// seeds, matching how the paper instantiates the d array hashes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace coco::hash {
+
+// Jenkins lookup3 (hashlittle). Deterministic across platforms for the same
+// byte sequence; we only ever hash explicit byte buffers, never structs.
+uint32_t BobHash32(const void* data, size_t len, uint32_t seed);
+
+// 64-bit hash: MurmurHash3 x64 finalizer applied to a xor-folded block mix.
+// Cheap, good avalanche; used by trace generation and the flow tables.
+uint64_t Hash64(const void* data, size_t len, uint64_t seed);
+
+// Convenience for hashing small integers without building a buffer.
+uint64_t HashU64(uint64_t value, uint64_t seed);
+
+// A family of independent 32-bit hash functions indexed by `i`, implemented
+// as BobHash32 with per-index derived seeds. Sketches hold one HashFamily and
+// address arrays with `family(i, key_bytes, len) % width`.
+class HashFamily {
+ public:
+  explicit HashFamily(uint64_t seed = 0x5ee3u) : seed_(seed) {}
+
+  uint32_t operator()(size_t i, const void* data, size_t len) const {
+    // Mix the index into the seed with a splitmix-style step so adjacent
+    // indices give unrelated hash functions.
+    uint64_t s = seed_ + 0x9e3779b97f4a7c15ULL * (i + 1);
+    s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return BobHash32(data, len, static_cast<uint32_t>(s ^ (s >> 32)));
+  }
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace coco::hash

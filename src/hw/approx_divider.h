@@ -1,0 +1,44 @@
+// Model of the Tofino math unit's approximate division (§6.2).
+//
+// The switch cannot multiply two variables; to realize "replace with
+// probability w / V" it computes an approximate reciprocal 2^32 / V using
+// only the highest 4 bits of V, then compares a 32-bit random number against
+// it. We model that bit-exactly: normalize V to a 4-bit mantissa m in [8,15]
+// times 2^k (truncating the low bits) and return (2^32 / m) >> k.
+//
+// The paper reports the probability error is usually below 0.1·p; the
+// truncation model here errs by at most 1/8 relative, and the accuracy impact
+// is evaluated in Fig. 18(a) / bench_fig18a_versions.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace coco::hw {
+
+class ApproxDivider {
+ public:
+  // Approximate floor(2^32 / value) from the top 4 bits of `value`.
+  // value == 0 is saturated to UINT32_MAX (probability 1).
+  static uint32_t Reciprocal(uint32_t value) {
+    if (value <= 1) return std::numeric_limits<uint32_t>::max();
+    const int width = 32 - std::countl_zero(value);
+    if (width <= 4) {
+      // Small values are exact: the whole value fits in the 4-bit operand.
+      return static_cast<uint32_t>((uint64_t{1} << 32) / value);
+    }
+    const int shift = width - 4;
+    const uint32_t mantissa = value >> shift;  // in [8, 15]
+    // (2^32 / mantissa) >> shift, computed without overflow.
+    return static_cast<uint32_t>(((uint64_t{1} << 32) / mantissa) >> shift);
+  }
+
+  // Exact counterpart used by the FPGA variant (full-width divider).
+  static uint32_t ExactReciprocal(uint32_t value) {
+    if (value <= 1) return std::numeric_limits<uint32_t>::max();
+    return static_cast<uint32_t>((uint64_t{1} << 32) / value);
+  }
+};
+
+}  // namespace coco::hw

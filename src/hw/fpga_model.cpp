@@ -1,0 +1,103 @@
+#include "hw/fpga_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coco::hw {
+namespace {
+
+// Calibration constants (matched against the Vivado-reported curves in
+// Fig. 15(b)/(c); see DESIGN.md §1 for the substitution rationale).
+//
+// Base pipeline clock at the 0.25 MB design point, degrading by
+// kClockSlopeMhz per doubling of state (deeper BRAM address muxing and
+// wider replication of the memory crossbar lengthen the critical path).
+constexpr double kBaseClockMhz = 300.0;
+constexpr double kClockSlopeMhz = 50.0;
+constexpr double kBaseMemoryBytes = 256.0 * 1024.0;
+constexpr double kMinClockMhz = 60.0;
+
+// The basic design's circular dependency costs: the min-selection +
+// read-modify-write loop makes the pipeline issue a packet only every
+// kBasicII cycles, and the cross-array comparison tree drops the achievable
+// clock by kBasicClockFactor. Net slowdown 3 / 0.6 = 5x, the ratio §7.4
+// reports.
+constexpr size_t kBasicII = 3;
+constexpr double kBasicClockFactor = 0.6;
+
+// Logic footprints per functional unit (LUTs / registers), order-of-
+// magnitude figures for 32-bit datapaths.
+constexpr size_t kHashUnitLuts = 2600;
+constexpr size_t kHashUnitRegs = 900;
+constexpr size_t kProbUnitLuts = 1800;   // reciprocal + compare + PRNG
+constexpr size_t kProbUnitRegs = 700;
+constexpr size_t kPipelineStageRegs = 250;  // per pipelined stage, per array
+
+double ClockForMemory(size_t memory_bytes) {
+  const double doublings =
+      std::log2(std::max(1.0, static_cast<double>(memory_bytes) /
+                                  kBaseMemoryBytes));
+  return std::max(kMinClockMhz, kBaseClockMhz - kClockSlopeMhz * doublings);
+}
+
+size_t TilesForBytes(size_t bytes) {
+  return (bytes + FpgaPipelineModel::kBytesPerTile - 1) /
+         FpgaPipelineModel::kBytesPerTile;
+}
+
+}  // namespace
+
+FpgaDesign FpgaPipelineModel::CocoHardwareFriendly(size_t memory_bytes,
+                                                   size_t d) {
+  COCO_CHECK(d >= 1, "d must be positive");
+  FpgaDesign design;
+  design.name = "coco-hw-friendly";
+  design.clock_mhz = ClockForMemory(memory_bytes);
+  design.initiation_interval = 1;  // fully pipelined, per §4.2
+  design.bram_tiles = TilesForBytes(memory_bytes);
+  // Per array: one hash unit, one probability unit; the four pipeline parts
+  // of §6.1 (hash, value access, probability, key access) each hold state.
+  design.luts = d * (kHashUnitLuts + kProbUnitLuts);
+  design.registers = d * (kHashUnitRegs + kProbUnitRegs +
+                          4 * kPipelineStageRegs);
+  return design;
+}
+
+FpgaDesign FpgaPipelineModel::CocoBasic(size_t memory_bytes, size_t d) {
+  FpgaDesign design = CocoHardwareFriendly(memory_bytes, d);
+  design.name = "coco-basic";
+  design.clock_mhz *= kBasicClockFactor;
+  design.initiation_interval = kBasicII;
+  // The min-selection comparison tree and the stall-control logic add LUTs
+  // and duplicate the inter-array operand registers.
+  design.luts += d * 1200 + 800;
+  design.registers += d * 600;
+  return design;
+}
+
+FpgaDesign FpgaPipelineModel::Elastic(size_t memory_bytes) {
+  FpgaDesign design;
+  design.name = "elastic";
+  design.clock_mhz = ClockForMemory(memory_bytes);
+  design.initiation_interval = 1;
+  design.bram_tiles = TilesForBytes(memory_bytes);
+  // Heavy part (key + votes + flag) and a 3-row light part: substantially
+  // more parallel logic and per-stage state than one CocoSketch array —
+  // this is what makes "6*Elastic" registers ~45x CocoSketch's (§7.4).
+  design.luts = 4 * kHashUnitLuts + 9000;
+  design.registers = 36'000;
+  return design;
+}
+
+FpgaDesign FpgaPipelineModel::Replicate(const FpgaDesign& one, size_t copies) {
+  FpgaDesign design = one;
+  design.name = std::to_string(copies) + "*" + one.name;
+  design.bram_tiles *= copies;
+  design.luts *= copies;
+  design.registers *= copies;
+  return design;
+}
+
+}  // namespace coco::hw

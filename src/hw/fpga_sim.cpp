@@ -1,0 +1,74 @@
+#include "hw/fpga_sim.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace coco::hw {
+
+FpgaCycleSim::FpgaCycleSim(std::vector<PipelineStageSpec> stages)
+    : stages_(std::move(stages)) {
+  COCO_CHECK(!stages_.empty(), "empty pipeline");
+  for (const auto& s : stages_) {
+    COCO_CHECK(s.latency_cycles >= 1 && s.initiation_interval >= 1,
+               "degenerate stage");
+  }
+}
+
+uint64_t FpgaCycleSim::SimulatePackets(uint64_t n) const {
+  if (n == 0) return 0;
+  // last_entry[s]: cycle at which the previous packet entered stage s.
+  std::vector<uint64_t> last_entry(stages_.size(), 0);
+  uint64_t completion = 0;
+  for (uint64_t k = 0; k < n; ++k) {
+    uint64_t t = 0;  // cycle at which packet k may enter the next stage
+    for (size_t s = 0; s < stages_.size(); ++s) {
+      uint64_t enter = t;
+      if (k > 0) {
+        enter = std::max(enter,
+                         last_entry[s] + stages_[s].initiation_interval);
+      }
+      last_entry[s] = enter;
+      t = enter + stages_[s].latency_cycles;
+    }
+    completion = t;
+  }
+  return completion;
+}
+
+double FpgaCycleSim::CyclesPerPacket() const {
+  constexpr uint64_t kProbe = 10'000;
+  return static_cast<double>(SimulatePackets(kProbe)) /
+         static_cast<double>(kProbe);
+}
+
+size_t FpgaCycleSim::depth_cycles() const {
+  size_t depth = 0;
+  for (const auto& s : stages_) depth += s.latency_cycles;
+  return depth;
+}
+
+FpgaCycleSim FpgaCycleSim::CocoPipeline(size_t d, bool hardware_friendly) {
+  COCO_CHECK(d >= 1, "d must be positive");
+  std::vector<PipelineStageSpec> stages;
+  if (hardware_friendly) {
+    // §6.1: all memory accesses pipelined; each array runs in parallel, so
+    // the pipeline depth is independent of d and II is 1 everywhere.
+    stages.push_back({"hash", 1, 1});
+    stages.push_back({"value-bram", 2, 1});
+    stages.push_back({"probability", 1, 1});
+    stages.push_back({"key-bram", 2, 1});
+    return FpgaCycleSim(std::move(stages));
+  }
+  // Basic design: the min-selection couples the arrays into read-modify-
+  // write regions. Packet k+1 cannot read the value array before packet k's
+  // compare-and-write lands (2-cycle read + 1-cycle select/write turnaround
+  // = II 3), and likewise for the key region whose write depends on the
+  // fresh value. This is the II=3 the analytic model (fpga_model.cpp) uses.
+  stages.push_back({"hash", 1, 1});
+  stages.push_back({"value-min-rmw", 3, 3});
+  stages.push_back({"key-rmw", 3, 3});
+  return FpgaCycleSim(std::move(stages));
+}
+
+}  // namespace coco::hw

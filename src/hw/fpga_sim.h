@@ -1,0 +1,63 @@
+// Cycle-level simulation of the FPGA update pipeline (§6.1).
+//
+// The paper divides the FPGA design into four parts — hash computation,
+// value-array access, replacement-probability calculation, key-array access
+// — with BRAM accesses taking 2 cycles and compute steps 1 cycle. This
+// simulator schedules packets through those stages under two disciplines:
+//
+//   * fully pipelined (hardware-friendly design): every stage accepts a new
+//     packet each cycle (initiation interval 1), so N packets finish in
+//     N - 1 + pipeline-depth cycles;
+//   * blocking (basic design naively mapped): the cross-array min-selection
+//     makes each stage's result feed a read-modify-write that the next
+//     packet may depend on, so a stage cannot accept a new packet until its
+//     previous occupant left (initiation interval = stage latency).
+//
+// The schedule recurrence is the standard pipeline timing equation:
+//   enter(k, s) = max(leave(k, s-1), enter(k-1, s) + II_s).
+// Tests verify the closed forms (II=1 vs II=sum of latencies) fall out, and
+// the Fig. 15(b) bench cross-checks the analytic FpgaPipelineModel against
+// this simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coco::hw {
+
+struct PipelineStageSpec {
+  std::string name;
+  uint32_t latency_cycles;
+  uint32_t initiation_interval;  // min cycles between successive entries
+};
+
+class FpgaCycleSim {
+ public:
+  explicit FpgaCycleSim(std::vector<PipelineStageSpec> stages);
+
+  // Total cycles for `n` back-to-back packets.
+  uint64_t SimulatePackets(uint64_t n) const;
+
+  // Steady-state cycles per packet (simulated over a long run).
+  double CyclesPerPacket() const;
+
+  // Simulated throughput at a given clock.
+  double ThroughputMpps(double clock_mhz) const {
+    return clock_mhz / CyclesPerPacket();
+  }
+
+  size_t depth_cycles() const;  // latency of one packet through all stages
+  const std::vector<PipelineStageSpec>& stages() const { return stages_; }
+
+  // The CocoSketch update pipeline of §6.1: hash (1) → value BRAM (2) →
+  // probability (1) → key BRAM (2). `hardware_friendly` selects pipelined
+  // stages (II=1); otherwise every stage blocks for its full latency and the
+  // min-selection adds a d-input compare stage.
+  static FpgaCycleSim CocoPipeline(size_t d, bool hardware_friendly);
+
+ private:
+  std::vector<PipelineStageSpec> stages_;
+};
+
+}  // namespace coco::hw

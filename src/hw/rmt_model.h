@@ -1,0 +1,105 @@
+// Model of an RMT (Reconfigurable Match-Action Table) switch pipeline in the
+// Tofino class (§3.3, §6.2), used to reproduce Table 2 and Fig. 15(d).
+//
+// The model captures the two properties the paper's hardware results rest on:
+//   1. per-stage resource budgets (hash distribution units, stateful ALUs,
+//      gateways, Map RAM, SRAM) across a fixed number of stages, and
+//   2. the unidirectional dataflow constraint: an atom that depends on an
+//      earlier atom's result must be placed in a strictly later stage.
+//
+// A sketch is described as a SketchResourceSpec — a list of atoms with
+// per-atom resource demands and a dependency flag — and the placement engine
+// first-fit allocates atoms onto stages. MaxInstances() answers "how many
+// copies of this sketch fit in one switch", the question behind the paper's
+// "a Tofino switch cannot support more than four single-key sketches".
+//
+// Per-sketch resource demands are calibrated to the fractions the paper
+// reports (Table 2, §7.4); see rmt_model.cpp for the derivation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coco::hw {
+
+// Resource vector; units are device blocks, not bytes.
+struct Resources {
+  uint32_t hash_dist_units = 0;
+  uint32_t stateful_alus = 0;
+  uint32_t gateways = 0;
+  uint32_t map_ram_blocks = 0;
+  uint32_t sram_blocks = 0;
+
+  Resources& operator+=(const Resources& o);
+  bool FitsWithin(const Resources& capacity) const;
+};
+
+struct SwitchSpec {
+  size_t num_stages = 12;
+  Resources per_stage;
+
+  // A Tofino-class device: 12 stages; 6 hash distribution units, 4 stateful
+  // ALUs, 16 gateways, 48 Map RAM blocks, 80 SRAM blocks per stage. Totals:
+  // 72 / 48 / 192 / 576 / 960 — chosen so the whole-switch fractions in
+  // Table 2 reproduce (e.g. 48 stateful ALUs total, as §1 states).
+  static SwitchSpec Tofino();
+
+  Resources TotalCapacity() const;
+};
+
+// One placeable unit: typically a register array plus its addressing hash
+// and update ALU.
+struct Atom {
+  std::string name;
+  Resources needs;
+  // If true, this atom consumes the previous atom's result and must sit in a
+  // strictly later stage (e.g. CocoSketch's key stage after its value stage).
+  bool depends_on_previous = false;
+};
+
+struct SketchResourceSpec {
+  std::string name;
+  std::vector<Atom> atoms;
+
+  Resources Total() const;
+
+  // Calibrated specs for the sketches the paper deploys (see .cpp).
+  static SketchResourceSpec CountMin();
+  static SketchResourceSpec RHhhLevel();
+  static SketchResourceSpec Elastic();
+  static SketchResourceSpec CocoSketch(size_t d = 2);
+};
+
+// Whole-switch usage fractions, for reporting.
+struct UsageFractions {
+  double hash_dist = 0.0;
+  double stateful_alus = 0.0;
+  double gateways = 0.0;
+  double map_ram = 0.0;
+  double sram = 0.0;
+};
+
+class RmtPipelineModel {
+ public:
+  explicit RmtPipelineModel(SwitchSpec spec);
+
+  // First-fit placement honoring stage capacities and dependencies.
+  // On success resources are consumed and true is returned; on failure the
+  // model is left unchanged.
+  bool Place(const SketchResourceSpec& sketch);
+
+  // How many fresh copies of `sketch` fit into an empty switch.
+  static size_t MaxInstances(const SwitchSpec& spec,
+                             const SketchResourceSpec& sketch);
+
+  UsageFractions Usage() const;
+
+  const SwitchSpec& spec() const { return spec_; }
+
+ private:
+  SwitchSpec spec_;
+  std::vector<Resources> used_;  // per stage
+};
+
+}  // namespace coco::hw

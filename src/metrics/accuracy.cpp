@@ -1,0 +1,37 @@
+#include "metrics/accuracy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace coco::metrics {
+
+Accuracy MeanAccuracy(const std::vector<Accuracy>& parts) {
+  Accuracy mean;
+  if (parts.empty()) return mean;
+  for (const Accuracy& a : parts) {
+    mean.recall += a.recall;
+    mean.precision += a.precision;
+    mean.f1 += a.f1;
+    mean.are += a.are;
+    mean.true_count += a.true_count;
+    mean.reported_count += a.reported_count;
+  }
+  const double n = static_cast<double>(parts.size());
+  mean.recall /= n;
+  mean.precision /= n;
+  mean.f1 /= n;
+  mean.are /= n;
+  return mean;
+}
+
+uint64_t Quantile(const std::vector<uint64_t>& sorted, double q) {
+  COCO_CHECK(!sorted.empty(), "quantile of empty sample");
+  COCO_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+}  // namespace coco::metrics

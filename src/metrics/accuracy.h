@@ -1,0 +1,93 @@
+// Accuracy metrics of §7.1: Recall Rate, Precision Rate, F1 Score, and
+// Average Relative Error, computed against exact ground truth.
+//
+// Conventions (matching the paper):
+//   * "correct flows" are the ground-truth flows meeting the task threshold;
+//   * "reported flows" are what the algorithm emits (estimate >= threshold);
+//   * ARE is computed over the query set Ψ = the correct flows, using the
+//     algorithm's estimate (0 when the flow was not reported at all).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace coco::metrics {
+
+struct Accuracy {
+  double recall = 0.0;
+  double precision = 0.0;
+  double f1 = 0.0;
+  double are = 0.0;
+  size_t true_count = 0;      // |correct flows|
+  size_t reported_count = 0;  // |reported flows|
+};
+
+// Generic scorer: `estimates` maps every reported key to its estimated size,
+// `truth` maps every real key to its exact size; a key is "correct" when its
+// true size >= threshold and "reported" when its estimate >= threshold.
+template <typename Key>
+Accuracy ScoreThreshold(const std::unordered_map<Key, uint64_t>& estimates,
+                        const std::unordered_map<Key, uint64_t>& truth,
+                        uint64_t threshold) {
+  Accuracy acc;
+  size_t correct_reported = 0;
+  double are_sum = 0.0;
+
+  for (const auto& [key, true_size] : truth) {
+    if (true_size < threshold) continue;
+    ++acc.true_count;
+    auto it = estimates.find(key);
+    const uint64_t est = it == estimates.end() ? 0 : it->second;
+    if (est >= threshold) ++correct_reported;
+    are_sum += static_cast<double>(est > true_size ? est - true_size
+                                                   : true_size - est) /
+               static_cast<double>(true_size);
+  }
+  for (const auto& [key, est] : estimates) {
+    if (est >= threshold) ++acc.reported_count;
+  }
+
+  acc.recall = acc.true_count == 0
+                   ? 1.0
+                   : static_cast<double>(correct_reported) /
+                         static_cast<double>(acc.true_count);
+  acc.precision = acc.reported_count == 0
+                      ? 1.0
+                      : static_cast<double>(correct_reported) /
+                            static_cast<double>(acc.reported_count);
+  acc.f1 = (acc.recall + acc.precision) == 0.0
+               ? 0.0
+               : 2.0 * acc.recall * acc.precision /
+                     (acc.recall + acc.precision);
+  acc.are = acc.true_count == 0 ? 0.0
+                                : are_sum / static_cast<double>(acc.true_count);
+  return acc;
+}
+
+// Averages a set of per-key accuracies (the paper reports the mean over the
+// six partial keys).
+Accuracy MeanAccuracy(const std::vector<Accuracy>& parts);
+
+// Absolute-error distribution support for the CDF plots of Fig. 17: returns
+// the sorted |est - true| values over all ground-truth flows.
+template <typename Key>
+std::vector<uint64_t> AbsoluteErrors(
+    const std::unordered_map<Key, uint64_t>& estimates,
+    const std::unordered_map<Key, uint64_t>& truth) {
+  std::vector<uint64_t> errors;
+  errors.reserve(truth.size());
+  for (const auto& [key, true_size] : truth) {
+    auto it = estimates.find(key);
+    const uint64_t est = it == estimates.end() ? 0 : it->second;
+    errors.push_back(est > true_size ? est - true_size : true_size - est);
+  }
+  std::sort(errors.begin(), errors.end());
+  return errors;
+}
+
+// Value at a given cumulative probability in a sorted sample.
+uint64_t Quantile(const std::vector<uint64_t>& sorted, double q);
+
+}  // namespace coco::metrics

@@ -1,0 +1,44 @@
+// Multi-threaded OVS-style datapath (§6 / Appendix B, Fig. 15(a)).
+//
+// Architecture mirrors the paper's testbed: per-Rx-queue producer threads
+// (standing in for DPDK poll-mode drivers fed by a 40G NIC) push packet
+// headers into SPSC ring buffers; per-queue measurement threads poll the
+// rings and update a private CocoSketch partition (shared-nothing, merged at
+// decode time). The NIC line rate is modeled as a global token bucket shared
+// by the producers; the measured throughput therefore saturates at the NIC
+// cap once enough threads are added — the shape of Fig. 15(a).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cocosketch.h"
+#include "packet/keys.h"
+
+namespace coco::ovs {
+
+struct DatapathConfig {
+  size_t num_queues = 1;           // Rx queues == measurement threads
+  double nic_rate_mpps = 13.0;     // 40GbE at the trace's mean packet size
+  bool with_sketch = true;         // false = plain forwarding ("OVS w/o")
+  size_t sketch_memory_bytes = 512 * 1024;  // split across queues
+  size_t ring_capacity = 4096;     // slots per SPSC ring
+  uint64_t seed = 0x0f5;
+};
+
+struct DatapathResult {
+  double mpps = 0.0;               // end-to-end drained packet rate
+  uint64_t packets_processed = 0;
+  double measurement_cpu_fraction = 0.0;  // time spent in sketch updates
+  // Control-plane view: the per-queue sketch partitions decoded and merged
+  // (empty when with_sketch is false).
+  std::unordered_map<FiveTuple, uint64_t> merged_table;
+};
+
+// Runs the trace through the simulated datapath and reports throughput.
+// The trace is striped round-robin across queues (RSS stand-in).
+DatapathResult RunDatapath(const DatapathConfig& config,
+                           const std::vector<Packet>& trace);
+
+}  // namespace coco::ovs

@@ -1,0 +1,64 @@
+// Lock-free single-producer single-consumer ring buffer — the shared-memory
+// channel between the OVS datapath and the measurement process (§B: "we use
+// ring buffers as the shared memory... the measurement process continuously
+// reads packet header information from ring buffers by polling").
+//
+// Classic Lamport queue with C++11 atomics: the producer owns `head_`, the
+// consumer owns `tail_`; each caches the other side's index to avoid
+// touching the contended cache line on every operation. Capacity is a power
+// of two so index wrapping is a mask.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace coco::ovs {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity_pow2)
+      : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
+    COCO_CHECK(capacity_pow2 >= 2 && (capacity_pow2 & mask_) == 0,
+               "capacity must be a power of two");
+  }
+
+  // Producer side. Returns false when the ring is full.
+  bool TryPush(const T& value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ >= slots_.size()) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ >= slots_.size()) return false;
+    }
+    slots_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T& out) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) size_t cached_tail_ = 0;   // producer-local
+  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) size_t cached_head_ = 0;   // consumer-local
+  size_t mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace coco::ovs

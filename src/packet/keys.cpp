@@ -1,0 +1,15 @@
+#include "packet/keys.h"
+
+#include <cstdio>
+
+namespace coco {
+
+std::string FiveTuple::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:%u->%s:%u/%u",
+                Ipv4ToString(src_ip()).c_str(), src_port(),
+                Ipv4ToString(dst_ip()).c_str(), dst_port(), proto());
+  return buf;
+}
+
+}  // namespace coco

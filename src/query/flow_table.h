@@ -1,0 +1,92 @@
+// Partial-key query front-end (§4.3, steps 3-4 of Fig. 1).
+//
+// The data plane is decoded once into a (FullKey, Size) table; any partial
+// key is then answered by the relational aggregation
+//     SELECT g(k_F), SUM(Size) FROM table GROUP BY g(k_F)
+// implemented here as Aggregate(). Heavy changes are the aggregated absolute
+// difference of two windows' tables.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/keys.h"
+
+namespace coco::query {
+
+template <typename Key>
+using FlowTable = std::unordered_map<Key, uint64_t>;
+
+// GROUP BY g(k_F) SUM(Size): `Spec` is any mapping exposing
+// Apply(Key) -> partial key (keys::TupleKeySpec, keys::PrefixSpec,
+// keys::V6KeySpec, ...); the output key type follows the spec.
+template <typename Key, typename Spec>
+auto Aggregate(const FlowTable<Key>& table, const Spec& spec) {
+  using OutKey = decltype(spec.Apply(std::declval<const Key&>()));
+  FlowTable<OutKey> out;
+  out.reserve(table.size());
+  for (const auto& [key, size] : table) {
+    out[spec.Apply(key)] += size;
+  }
+  return out;
+}
+
+// |a - b| per key over the union of key sets — the heavy-change signal.
+template <typename Key>
+FlowTable<Key> AbsDiff(const FlowTable<Key>& a, const FlowTable<Key>& b) {
+  FlowTable<Key> out;
+  out.reserve(a.size() + b.size());
+  for (const auto& [key, va] : a) {
+    auto it = b.find(key);
+    const uint64_t vb = it == b.end() ? 0 : it->second;
+    out.emplace(key, va > vb ? va - vb : vb - va);
+  }
+  for (const auto& [key, vb] : b) {
+    if (!a.count(key)) out.emplace(key, vb);
+  }
+  return out;
+}
+
+// Rows of a table sorted by size descending, truncated to n — the
+// human-readable query result the examples print.
+template <typename Key>
+std::vector<std::pair<Key, uint64_t>> TopRows(const FlowTable<Key>& table,
+                                              size_t n) {
+  std::vector<std::pair<Key, uint64_t>> rows(table.begin(), table.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+// Sums several decoded partitions into one table — how the control plane
+// combines the shared-nothing per-queue sketches of the OVS datapath
+// (each packet lands in exactly one partition, so summation is exact
+// aggregation, not double counting).
+template <typename Key>
+FlowTable<Key> MergeTables(const std::vector<FlowTable<Key>>& partitions) {
+  FlowTable<Key> out;
+  size_t total = 0;
+  for (const auto& p : partitions) total += p.size();
+  out.reserve(total);
+  for (const auto& p : partitions) {
+    for (const auto& [key, size] : p) out[key] += size;
+  }
+  return out;
+}
+
+// Keys at or above a threshold — the reported set for HH / HC tasks.
+template <typename Key>
+FlowTable<Key> FilterThreshold(const FlowTable<Key>& table,
+                               uint64_t threshold) {
+  FlowTable<Key> out;
+  for (const auto& [key, size] : table) {
+    if (size >= threshold) out.emplace(key, size);
+  }
+  return out;
+}
+
+}  // namespace coco::query

@@ -1,0 +1,145 @@
+// Elastic sketch [Yang et al., SIGCOMM 2018], software version — a
+// single-key baseline in Figs. 8-10 and the hardware comparison of Fig. 15.
+//
+// Heavy part: a hash-addressed array of (key, vote+, vote-, flag) buckets
+// holding the elephant candidates. Light part: a small Count-Min of 8-bit
+// saturating counters absorbing mice and evicted prefixes. On a mismatch the
+// negative vote grows; when vote- / vote+ >= lambda the incumbent is evicted
+// into the light part and the newcomer takes the bucket with its flag set
+// (meaning: part of its true count may live in the light part).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "hash/bobhash.h"
+
+namespace coco::sketch {
+
+template <typename Key>
+class ElasticSketch {
+ public:
+  // `lambda` is the eviction threshold of the original paper (default 8).
+  // Memory split: 25% heavy part, 75% light part (the split the Elastic
+  // paper recommends for software).
+  explicit ElasticSketch(size_t memory_bytes, uint32_t lambda = 8,
+                         uint64_t seed = 0xe1a)
+      : lambda_(lambda),
+        hash_(seed),
+        buckets_(HeavyBuckets(memory_bytes)),
+        light_rows_(3),
+        light_width_(LightWidth(memory_bytes)),
+        light_(light_rows_ * light_width_, 0) {
+    COCO_CHECK(!buckets_.empty(), "memory too small for Elastic heavy part");
+    COCO_CHECK(light_width_ > 0, "memory too small for Elastic light part");
+  }
+
+  void Update(const Key& key, uint32_t weight) {
+    Bucket& b = buckets_[hash_(0, key.data(), key.size()) % buckets_.size()];
+    if (b.positive == 0) {
+      b.key = key;
+      b.positive = weight;
+      b.negative = 0;
+      b.flag = false;
+      return;
+    }
+    if (b.key == key) {
+      b.positive += weight;
+      return;
+    }
+    b.negative += weight;
+    if (b.negative >= lambda_ * b.positive) {
+      // Evict the incumbent into the light part and seat the newcomer.
+      LightAdd(b.key, b.positive);
+      b.key = key;
+      b.positive = weight;
+      b.negative = 1;
+      b.flag = true;
+    } else {
+      LightAdd(key, weight);
+    }
+  }
+
+  uint64_t Query(const Key& key) const {
+    const Bucket& b =
+        buckets_[hash_(0, key.data(), key.size()) % buckets_.size()];
+    if (b.positive > 0 && b.key == key) {
+      return b.positive + (b.flag ? LightQuery(key) : 0);
+    }
+    return LightQuery(key);
+  }
+
+  // Reported flows: the heavy-part incumbents (as in the original design,
+  // mice in the light part are not reported).
+  std::unordered_map<Key, uint64_t> Decode() const {
+    std::unordered_map<Key, uint64_t> out;
+    out.reserve(buckets_.size());
+    for (const Bucket& b : buckets_) {
+      if (b.positive == 0) continue;
+      uint64_t est = b.positive + (b.flag ? LightQuery(b.key) : 0);
+      auto [it, inserted] = out.emplace(b.key, est);
+      if (!inserted && est > it->second) it->second = est;
+    }
+    return out;
+  }
+
+  void Clear() {
+    for (Bucket& b : buckets_) b = Bucket{};
+    std::fill(light_.begin(), light_.end(), 0);
+  }
+
+  size_t MemoryBytes() const {
+    return buckets_.size() * sizeof(Bucket) + light_.size();
+  }
+
+ private:
+  struct Bucket {
+    Key key{};
+    uint32_t positive = 0;  // vote+
+    uint32_t negative = 0;  // vote-
+    bool flag = false;
+  };
+
+  static size_t HeavyBuckets(size_t memory_bytes) {
+    return std::max<size_t>(1, memory_bytes / 4 / sizeof(Bucket));
+  }
+
+  size_t LightWidth(size_t memory_bytes) const {
+    const size_t heavy_bytes = HeavyBuckets(memory_bytes) * sizeof(Bucket);
+    const size_t light_bytes =
+        memory_bytes > heavy_bytes ? memory_bytes - heavy_bytes : 0;
+    return light_bytes / light_rows_;
+  }
+
+  void LightAdd(const Key& key, uint32_t count) {
+    for (size_t r = 0; r < light_rows_; ++r) {
+      uint8_t& cell =
+          light_[r * light_width_ + hash_(r + 1, key.data(), key.size()) %
+                                        light_width_];
+      const uint32_t sum = cell + count;
+      cell = static_cast<uint8_t>(sum > 255 ? 255 : sum);
+    }
+  }
+
+  uint64_t LightQuery(const Key& key) const {
+    uint8_t result = 255;
+    for (size_t r = 0; r < light_rows_; ++r) {
+      const uint8_t cell =
+          light_[r * light_width_ + hash_(r + 1, key.data(), key.size()) %
+                                        light_width_];
+      result = std::min(result, cell);
+    }
+    return result;
+  }
+
+  uint32_t lambda_;
+  hash::HashFamily hash_;
+  std::vector<Bucket> buckets_;
+  size_t light_rows_;
+  size_t light_width_;
+  std::vector<uint8_t> light_;
+};
+
+}  // namespace coco::sketch

@@ -1,0 +1,92 @@
+// HyperLogLog [Flajolet et al. 2007] — cardinality estimation substrate for
+// the distinct-counting extension of CocoSketch (the BeauCoup-style future
+// work the paper's §8 points at).
+//
+// Standard construction: m = 2^b 6-bit registers (stored as bytes), register
+// chosen by the top b bits of a 64-bit hash, rank = leading-zero count of
+// the rest + 1. Estimation uses the alpha_m harmonic mean with the
+// linear-counting small-range correction.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "hash/bobhash.h"
+
+namespace coco::sketch {
+
+class HyperLogLog {
+ public:
+  explicit HyperLogLog(uint8_t precision_bits = 10, uint64_t seed = 0x411)
+      : bits_(precision_bits),
+        seed_(seed),
+        registers_(size_t{1} << precision_bits, 0) {
+    COCO_CHECK(precision_bits >= 4 && precision_bits <= 16,
+               "precision out of range");
+  }
+
+  // Adds an item identified by its byte representation.
+  void Add(const void* data, size_t len) {
+    const uint64_t h = hash::Hash64(data, len, seed_);
+    const size_t reg = h >> (64 - bits_);
+    const uint64_t rest = (h << bits_) | (uint64_t{1} << (bits_ - 1));
+    const uint8_t rank = static_cast<uint8_t>(std::countl_zero(rest) + 1);
+    if (rank > registers_[reg]) registers_[reg] = rank;
+  }
+
+  template <typename Key>
+  void AddKey(const Key& key) {
+    Add(key.data(), key.size());
+  }
+
+  // Estimated number of distinct items added.
+  double Estimate() const {
+    const double m = static_cast<double>(registers_.size());
+    double harmonic = 0.0;
+    size_t zeros = 0;
+    for (uint8_t r : registers_) {
+      harmonic += std::pow(2.0, -static_cast<double>(r));
+      zeros += (r == 0);
+    }
+    const double raw = Alpha(m) * m * m / harmonic;
+    if (raw <= 2.5 * m && zeros != 0) {
+      return m * std::log(m / static_cast<double>(zeros));  // linear counting
+    }
+    return raw;
+  }
+
+  // Merges another HLL built with the same geometry and seed (register-wise
+  // max) — the union cardinality property.
+  void Merge(const HyperLogLog& other) {
+    COCO_CHECK(other.registers_.size() == registers_.size() &&
+                   other.seed_ == seed_,
+               "incompatible HLL merge");
+    for (size_t i = 0; i < registers_.size(); ++i) {
+      if (other.registers_[i] > registers_[i]) {
+        registers_[i] = other.registers_[i];
+      }
+    }
+  }
+
+  void Clear() { std::fill(registers_.begin(), registers_.end(), 0); }
+
+  size_t MemoryBytes() const { return registers_.size(); }
+  uint8_t precision_bits() const { return bits_; }
+
+ private:
+  static double Alpha(double m) {
+    if (m <= 16) return 0.673;
+    if (m <= 32) return 0.697;
+    if (m <= 64) return 0.709;
+    return 0.7213 / (1.0 + 1.079 / m);
+  }
+
+  uint8_t bits_;
+  uint64_t seed_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace coco::sketch

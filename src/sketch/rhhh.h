@@ -1,0 +1,74 @@
+// R-HHH (Randomized HHH) [Ben-Basat et al., SIGCOMM 2017] — the
+// hierarchical-heavy-hitter baseline of Figs. 11 and 12.
+//
+// One single-key sketch (Count-Min + heap here, as in the paper's setup) per
+// hierarchy level. Each packet updates only ONE uniformly random level, which
+// caps the per-packet cost at O(1) sketch updates; in exchange every level
+// only sees ~1/V of the traffic, so estimates are scaled by V and their
+// variance grows with V — the accuracy penalty the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "packet/keys.h"
+#include "sketch/count_min.h"
+
+namespace coco::sketch {
+
+// FullKey: the key packets carry (e.g. IPv4Key). Spec: a mapping with
+// DynKey Apply(FullKey) — e.g. keys::PrefixSpec.
+template <typename FullKey, typename Spec>
+class RHhh {
+ public:
+  RHhh(size_t memory_bytes, std::vector<Spec> specs, uint64_t seed = 0x4111,
+       size_t heap_capacity = 256)
+      : specs_(std::move(specs)), rng_(seed) {
+    COCO_CHECK(!specs_.empty(), "empty hierarchy");
+    const size_t per_level = memory_bytes / specs_.size();
+    levels_.reserve(specs_.size());
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      levels_.emplace_back(per_level, heap_capacity, 3, seed + i * 104729);
+    }
+  }
+
+  void Update(const FullKey& key, uint32_t weight) {
+    const size_t level = rng_.NextBelow(specs_.size());
+    levels_[level].Update(specs_[level].Apply(key), weight);
+  }
+
+  // Estimated size at a level, scaled by V to compensate the 1/V sampling.
+  uint64_t QueryLevel(size_t level, const DynKey& key) const {
+    return levels_[level].Query(key) * specs_.size();
+  }
+
+  // Reported flows at a level, estimates scaled by V.
+  std::unordered_map<DynKey, uint64_t> DecodeLevel(size_t level) const {
+    std::unordered_map<DynKey, uint64_t> out = levels_[level].Decode();
+    for (auto& [key, est] : out) est *= specs_.size();
+    return out;
+  }
+
+  size_t num_levels() const { return specs_.size(); }
+  const Spec& spec(size_t level) const { return specs_[level]; }
+
+  void Clear() {
+    for (auto& l : levels_) l.Clear();
+  }
+
+  size_t MemoryBytes() const {
+    size_t total = 0;
+    for (const auto& l : levels_) total += l.MemoryBytes();
+    return total;
+  }
+
+ private:
+  std::vector<Spec> specs_;
+  std::vector<CmHeap<DynKey>> levels_;
+  Rng rng_;
+};
+
+}  // namespace coco::sketch

@@ -1,0 +1,63 @@
+// SpaceSaving [Metwally, Agrawal, El Abbadi 2005] — deterministic top-k
+// counting over a Stream-Summary ("SS" in the paper's figures).
+//
+// If the key is tracked, its counter is incremented; otherwise the minimum
+// counter is incremented by the weight and its key is *always* replaced by
+// the newcomer. Estimates are biased upward by up to N/capacity; the error
+// bound (count_min <= N / capacity) is property-tested.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sketch/stream_summary.h"
+
+namespace coco::sketch {
+
+template <typename Key>
+class SpaceSaving {
+ public:
+  // Sizes the summary so its total footprint fits `memory_bytes`.
+  explicit SpaceSaving(size_t memory_bytes)
+      : summary_(CapacityFor(memory_bytes)) {}
+
+  void Update(const Key& key, uint32_t weight) {
+    using Node = typename StreamSummary<Key>::Node;
+    if (Node* node = summary_.Find(key)) {
+      summary_.Increment(node, weight);
+      return;
+    }
+    if (!summary_.Full()) {
+      summary_.InsertNew(key, weight);
+      return;
+    }
+    Node* min = summary_.MinNode();
+    summary_.Increment(min, weight);
+    summary_.Rekey(min, key);
+  }
+
+  uint64_t Query(const Key& key) {
+    auto* node = summary_.Find(key);
+    return node == nullptr ? 0 : summary_.CountOf(node);
+  }
+
+  std::unordered_map<Key, uint64_t> Decode() const { return summary_.ToMap(); }
+
+  void Clear() { summary_.Clear(); }
+
+  size_t MemoryBytes() const {
+    return summary_.capacity() * StreamSummary<Key>::EntryBytes();
+  }
+
+  size_t capacity() const { return summary_.capacity(); }
+
+  static size_t CapacityFor(size_t memory_bytes) {
+    const size_t cap = memory_bytes / StreamSummary<Key>::EntryBytes();
+    return cap == 0 ? 1 : cap;
+  }
+
+ private:
+  StreamSummary<Key> summary_;
+};
+
+}  // namespace coco::sketch

@@ -1,0 +1,241 @@
+// Stream-Summary: the counter structure behind SpaceSaving [Metwally et al.
+// 2005] and Unbiased SpaceSaving [Ting 2018].
+//
+// Capacity-bounded set of (key, count) nodes, grouped into buckets of equal
+// count; buckets form a doubly-linked list in ascending count order, so the
+// minimum-count node is found in O(1) — exactly the "hash table + double
+// linked list" acceleration the paper uses for its optimized USS baseline
+// (§7.2). With unit weights every operation is O(1); weighted increments may
+// walk forward past a few buckets.
+//
+// Node and bucket storage is preallocated at construction (capacity nodes,
+// capacity buckets) — no allocation on the update path, and pointers stay
+// stable for the lifetime of the structure.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace coco::sketch {
+
+template <typename Key>
+class StreamSummary {
+ public:
+  struct Bucket;
+
+  struct Node {
+    Key key{};
+    Node* prev = nullptr;  // within bucket
+    Node* next = nullptr;
+    Bucket* bucket = nullptr;
+  };
+
+  struct Bucket {
+    uint64_t count = 0;
+    Node* head = nullptr;    // any node of this count
+    Bucket* prev = nullptr;  // toward smaller counts
+    Bucket* next = nullptr;  // toward larger counts
+  };
+
+  // The bucket pool holds capacity+1 entries: during Increment a node is
+  // detached and re-attached to a new count before its old (possibly empty)
+  // bucket is released, so one extra bucket can be live transiently.
+  explicit StreamSummary(size_t capacity)
+      : capacity_(capacity), nodes_(capacity), buckets_(capacity + 1) {
+    COCO_CHECK(capacity > 0, "stream summary capacity must be positive");
+    index_.reserve(capacity * 2);
+    free_buckets_.reserve(capacity);
+    for (Bucket& b : buckets_) free_buckets_.push_back(&b);
+  }
+
+  size_t size() const { return used_nodes_; }
+  size_t capacity() const { return capacity_; }
+  bool Full() const { return used_nodes_ == capacity_; }
+
+  Node* Find(const Key& key) {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : it->second;
+  }
+
+  uint64_t CountOf(const Node* node) const { return node->bucket->count; }
+
+  // Smallest tracked count; 0 when empty.
+  uint64_t MinCount() const {
+    return min_bucket_ == nullptr ? 0 : min_bucket_->count;
+  }
+
+  // A node holding the minimum count (head of the min bucket).
+  Node* MinNode() {
+    return min_bucket_ == nullptr ? nullptr : min_bucket_->head;
+  }
+
+  // Inserts a new key with initial count. Requires !Full() and key absent.
+  Node* InsertNew(const Key& key, uint64_t count) {
+    COCO_CHECK(!Full(), "insert into full stream summary");
+    COCO_DCHECK(Find(key) == nullptr, "duplicate insert");
+    Node* node = &nodes_[used_nodes_++];
+    node->key = key;
+    index_[key] = node;
+    AttachToCount(node, count, /*search_from=*/min_bucket_);
+    return node;
+  }
+
+  // Adds `weight` to the node's count, relocating it to the right bucket.
+  void Increment(Node* node, uint64_t weight) {
+    Bucket* old_bucket = node->bucket;
+    const uint64_t new_count = old_bucket->count + weight;
+    // Detach first; if the old bucket empties we can reuse its slot, and the
+    // forward search must start from the old position either way.
+    DetachFromBucket(node);
+    // The (possibly now empty) old bucket stays linked during the forward
+    // search — its count is still a valid position hint — and is released
+    // afterwards.
+    AttachToCount(node, new_count, old_bucket);
+    ReleaseBucketIfEmpty(old_bucket);
+  }
+
+  // Changes the key of a tracked node (the SpaceSaving / USS replacement
+  // step). Count is unchanged.
+  void Rekey(Node* node, const Key& new_key) {
+    index_.erase(node->key);
+    node->key = new_key;
+    index_[new_key] = node;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Bucket* b = min_bucket_; b != nullptr; b = b->next) {
+      for (const Node* n = b->head; n != nullptr; n = n->next) {
+        fn(n->key, b->count);
+      }
+    }
+  }
+
+  std::unordered_map<Key, uint64_t> ToMap() const {
+    std::unordered_map<Key, uint64_t> out;
+    out.reserve(used_nodes_);
+    ForEach([&out](const Key& k, uint64_t c) { out.emplace(k, c); });
+    return out;
+  }
+
+  void Clear() {
+    index_.clear();
+    used_nodes_ = 0;
+    min_bucket_ = nullptr;
+    free_buckets_.clear();
+    for (Bucket& b : buckets_) {
+      b = Bucket{};
+      free_buckets_.push_back(&b);
+    }
+    for (Node& n : nodes_) n = Node{};
+  }
+
+  // Bytes charged per tracked flow: node + bucket (one per node worst case)
+  // + hash index entry. This is the "up to 4x memory" auxiliary cost the
+  // paper attributes to USS.
+  static constexpr size_t EntryBytes() {
+    return sizeof(Node) + sizeof(Bucket) + sizeof(Key) + sizeof(void*) +
+           2 * sizeof(void*);  // unordered_map node approximation
+  }
+
+  // Validates all structural invariants; used by tests and COCO_DCHECK-level
+  // debugging. Returns false (and stops) on the first violation.
+  bool CheckInvariants() const {
+    size_t seen = 0;
+    uint64_t prev_count = 0;
+    for (const Bucket* b = min_bucket_; b != nullptr; b = b->next) {
+      if (b->head == nullptr) return false;           // no empty buckets
+      if (b->prev == nullptr && b != min_bucket_) return false;
+      if (b->count <= prev_count && seen != 0) return false;  // ascending
+      prev_count = b->count;
+      for (const Node* n = b->head; n != nullptr; n = n->next) {
+        if (n->bucket != b) return false;
+        if (n->next && n->next->prev != n) return false;
+        auto it = index_.find(n->key);
+        if (it == index_.end() || it->second != n) return false;
+        ++seen;
+      }
+    }
+    return seen == used_nodes_ && seen == index_.size();
+  }
+
+ private:
+  // Links `node` into the bucket with exactly `count`, creating the bucket if
+  // needed. `search_from` is a position hint at or before the target.
+  void AttachToCount(Node* node, uint64_t count, Bucket* search_from) {
+    Bucket* prev = nullptr;
+    Bucket* cur = search_from != nullptr ? search_from : min_bucket_;
+    if (cur == nullptr || cur->count > count) {
+      // Target lies before the hint (only possible when hint == min bucket).
+      cur = min_bucket_;
+    }
+    while (cur != nullptr && cur->count < count) {
+      prev = cur;
+      cur = cur->next;
+    }
+    Bucket* target;
+    if (cur != nullptr && cur->count == count) {
+      target = cur;
+    } else {
+      target = AllocBucket(count);
+      target->prev = prev;
+      target->next = cur;
+      if (prev != nullptr) {
+        prev->next = target;
+      } else {
+        min_bucket_ = target;
+      }
+      if (cur != nullptr) cur->prev = target;
+    }
+    node->bucket = target;
+    node->prev = nullptr;
+    node->next = target->head;
+    if (target->head != nullptr) target->head->prev = node;
+    target->head = node;
+  }
+
+  void DetachFromBucket(Node* node) {
+    Bucket* b = node->bucket;
+    if (node->prev != nullptr) {
+      node->prev->next = node->next;
+    } else {
+      b->head = node->next;
+    }
+    if (node->next != nullptr) node->next->prev = node->prev;
+    node->prev = node->next = nullptr;
+    node->bucket = nullptr;
+  }
+
+  void ReleaseBucketIfEmpty(Bucket* b) {
+    if (b->head != nullptr) return;
+    if (b->prev != nullptr) {
+      b->prev->next = b->next;
+    } else {
+      min_bucket_ = b->next;
+    }
+    if (b->next != nullptr) b->next->prev = b->prev;
+    *b = Bucket{};
+    free_buckets_.push_back(b);
+  }
+
+  Bucket* AllocBucket(uint64_t count) {
+    COCO_CHECK(!free_buckets_.empty(), "bucket pool exhausted");
+    Bucket* b = free_buckets_.back();
+    free_buckets_.pop_back();
+    b->count = count;
+    return b;
+  }
+
+  size_t capacity_;
+  size_t used_nodes_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<Bucket> buckets_;
+  std::vector<Bucket*> free_buckets_;
+  std::unordered_map<Key, Node*> index_;
+  Bucket* min_bucket_ = nullptr;
+};
+
+}  // namespace coco::sketch

@@ -1,0 +1,133 @@
+// Indexed fixed-capacity min-heap used by the "sketch + min-heap" baselines
+// (Count-Min + heap, Count + heap, UnivMon levels).
+//
+// The heap tracks the current top-K keys by estimated size. A hash index maps
+// key -> heap slot so that updating an already-tracked key is O(log K)
+// instead of O(K). This is the standard companion structure for turning a
+// frequency sketch into a heavy-hitter reporter.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace coco::sketch {
+
+template <typename Key>
+class TopKHeap {
+ public:
+  struct Entry {
+    Key key;
+    uint64_t estimate;
+  };
+
+  explicit TopKHeap(size_t capacity) : capacity_(capacity) {
+    COCO_CHECK(capacity > 0, "heap capacity must be positive");
+    entries_.reserve(capacity);
+    index_.reserve(capacity * 2);
+  }
+
+  // Offers (key, estimate). If the key is tracked, its estimate is raised
+  // (estimates from sketches are monotone); otherwise it is inserted, evicting
+  // the smallest entry when full and the newcomer beats it.
+  void Offer(const Key& key, uint64_t estimate) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      const size_t pos = it->second;
+      if (estimate > entries_[pos].estimate) {
+        entries_[pos].estimate = estimate;
+        SiftDown(pos);  // estimate grew, so it may need to move away from root
+      }
+      return;
+    }
+    if (entries_.size() < capacity_) {
+      entries_.push_back({key, estimate});
+      index_[key] = entries_.size() - 1;
+      SiftUp(entries_.size() - 1);
+      return;
+    }
+    if (estimate > entries_[0].estimate) {
+      index_.erase(entries_[0].key);
+      entries_[0] = {key, estimate};
+      index_[key] = 0;
+      SiftDown(0);
+    }
+  }
+
+  bool Contains(const Key& key) const { return index_.count(key) != 0; }
+
+  uint64_t EstimateOf(const Key& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? 0 : entries_[it->second].estimate;
+  }
+
+  uint64_t MinEstimate() const {
+    return entries_.empty() ? 0 : entries_[0].estimate;
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  std::unordered_map<Key, uint64_t> ToMap() const {
+    std::unordered_map<Key, uint64_t> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.emplace(e.key, e.estimate);
+    return out;
+  }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+  // Bytes per tracked entry, charged against the sketch memory budget:
+  // the entry itself plus the hash index slot.
+  static constexpr size_t EntryBytes() {
+    return sizeof(Entry) + sizeof(Key) + sizeof(size_t) +
+           2 * sizeof(void*);  // unordered_map node overhead approximation
+  }
+
+ private:
+  void SiftUp(size_t pos) {
+    while (pos > 0) {
+      const size_t parent = (pos - 1) / 2;
+      if (entries_[parent].estimate <= entries_[pos].estimate) break;
+      SwapSlots(pos, parent);
+      pos = parent;
+    }
+  }
+
+  void SiftDown(size_t pos) {
+    const size_t n = entries_.size();
+    for (;;) {
+      size_t smallest = pos;
+      const size_t l = 2 * pos + 1;
+      const size_t r = 2 * pos + 2;
+      if (l < n && entries_[l].estimate < entries_[smallest].estimate) {
+        smallest = l;
+      }
+      if (r < n && entries_[r].estimate < entries_[smallest].estimate) {
+        smallest = r;
+      }
+      if (smallest == pos) break;
+      SwapSlots(pos, smallest);
+      pos = smallest;
+    }
+  }
+
+  void SwapSlots(size_t a, size_t b) {
+    std::swap(entries_[a], entries_[b]);
+    index_[entries_[a].key] = a;
+    index_[entries_[b].key] = b;
+  }
+
+  size_t capacity_;
+  std::vector<Entry> entries_;
+  std::unordered_map<Key, size_t> index_;
+};
+
+}  // namespace coco::sketch

@@ -1,0 +1,128 @@
+// UnivMon [Liu et al., SIGCOMM 2016] — universal sketching baseline.
+//
+// L levels of (Count sketch + top-K heap). A key belongs to levels 0..z where
+// z is the number of trailing one-bits of a sampling hash, so each level sees
+// an (expected) half of the previous level's keys. Heavy hitters come from
+// level 0; the multi-level structure additionally supports any G-sum
+// statistic (entropy, F2, ...) via the universal sketching recursion, which
+// we implement in ComputeGSum as an extension.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "hash/bobhash.h"
+#include "sketch/count_sketch.h"
+
+namespace coco::sketch {
+
+template <typename Key>
+class UnivMon {
+ public:
+  UnivMon(size_t memory_bytes, size_t levels = 14,
+          size_t heap_capacity = 1024, uint64_t seed = 0x0171)
+      : levels_(levels), sample_seed_(seed ^ 0xabcdef) {
+    COCO_CHECK(levels > 0 && levels <= 32, "unreasonable level count");
+    // Memory is split geometrically across levels (level i sees half of
+    // level i-1's traffic, so the original design halves the summaries
+    // too), with a floor so deep levels stay functional.
+    double norm = 0.0;
+    for (size_t i = 0; i < levels; ++i) norm += std::pow(0.5, double(i));
+    sketches_.reserve(levels);
+    heaps_.reserve(levels);
+    for (size_t i = 0; i < levels; ++i) {
+      const size_t level_budget = std::max<size_t>(
+          512, static_cast<size_t>(static_cast<double>(memory_bytes) *
+                                   std::pow(0.5, double(i)) / norm));
+      // Heap no larger than half the level budget.
+      const size_t max_entries =
+          level_budget / (2 * TopKHeap<Key>::EntryBytes());
+      const size_t cap =
+          std::max<size_t>(1, std::min(heap_capacity, max_entries));
+      const size_t heap_bytes = cap * TopKHeap<Key>::EntryBytes();
+      sketches_.emplace_back(level_budget - heap_bytes, 3, seed + i * 7919);
+      heaps_.emplace_back(cap);
+    }
+  }
+
+  void Update(const Key& key, uint32_t weight) {
+    const size_t deepest = DeepestLevel(key);
+    for (size_t i = 0; i <= deepest; ++i) {
+      sketches_[i].Update(key, weight);
+      heaps_[i].Offer(key, sketches_[i].Query(key));
+    }
+  }
+
+  // Heavy-hitter estimate: the level-0 Count sketch.
+  uint64_t Query(const Key& key) const { return sketches_[0].Query(key); }
+
+  std::unordered_map<Key, uint64_t> Decode() const {
+    return heaps_[0].ToMap();
+  }
+
+  // Universal sketching recursion: Y_L = sum_{heap L} g(f), and
+  // Y_i = 2 * Y_{i+1} + sum_{heap i} g(f) * (1 - 2 * sampled_{i+1}(key)).
+  // Estimates sum over all flows of g(count).
+  double ComputeGSum(const std::function<double(uint64_t)>& g) const {
+    double y = 0.0;
+    for (size_t i = levels_; i-- > 0;) {
+      double level_sum = 0.0;
+      for (const auto& entry : heaps_[i].entries()) {
+        const double gv = g(entry.estimate);
+        if (i + 1 == levels_) {
+          level_sum += gv;
+        } else {
+          const bool sampled_next = DeepestLevel(entry.key) >= i + 1;
+          level_sum += gv * (1.0 - 2.0 * (sampled_next ? 1.0 : 0.0));
+        }
+      }
+      y = (i + 1 == levels_) ? level_sum : 2.0 * y + level_sum;
+    }
+    return y;
+  }
+
+  // Empirical entropy estimate via G-sum with g(x) = x log x.
+  double EstimateEntropy(uint64_t total_packets) const {
+    const double n = static_cast<double>(total_packets);
+    const double gsum = ComputeGSum([](uint64_t x) {
+      return x == 0 ? 0.0 : static_cast<double>(x) * std::log2(x);
+    });
+    return std::log2(n) - gsum / n;
+  }
+
+  void Clear() {
+    for (auto& s : sketches_) s.Clear();
+    for (auto& h : heaps_) h.Clear();
+  }
+
+  size_t MemoryBytes() const {
+    size_t total = 0;
+    for (const auto& s : sketches_) total += s.MemoryBytes();
+    for (const auto& h : heaps_) {
+      total += h.capacity() * TopKHeap<Key>::EntryBytes();
+    }
+    return total;
+  }
+
+  size_t levels() const { return levels_; }
+
+ private:
+  // Number of trailing ones of the sampling hash, clamped to the top level.
+  size_t DeepestLevel(const Key& key) const {
+    const uint64_t h = hash::Hash64(key.data(), key.size(), sample_seed_);
+    size_t z = 0;
+    while (z < levels_ - 1 && ((h >> z) & 1) == 1) ++z;
+    return z;
+  }
+
+  size_t levels_;
+  uint64_t sample_seed_;
+  std::vector<CountSketch<Key>> sketches_;
+  std::vector<TopKHeap<Key>> heaps_;
+};
+
+}  // namespace coco::sketch

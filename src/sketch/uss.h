@@ -1,0 +1,139 @@
+// Unbiased SpaceSaving [Ting, SIGMOD 2018] — the theoretical basis of
+// CocoSketch (§3.2) and one of its main baselines.
+//
+// Identical to SpaceSaving except for the replacement rule: when the arriving
+// key is untracked, the minimum counter C_min is incremented by w and its key
+// is replaced only with probability w / (C_min + w). This makes every flow's
+// estimate unbiased and minimizes the per-update variance increment (the
+// paper's Theorem 1 with d = total number of buckets).
+//
+// Two implementations are provided, matching §7.2:
+//   * UnbiasedSpaceSaving      — optimized: hash table + bucket list, O(1)
+//     per update with unit weights;
+//   * NaiveUnbiasedSpaceSaving — the textbook O(n) linear scan for the
+//     minimum, kept to reproduce the "<0.1 Mpps" observation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sketch/stream_summary.h"
+
+namespace coco::sketch {
+
+template <typename Key>
+class UnbiasedSpaceSaving {
+ public:
+  explicit UnbiasedSpaceSaving(size_t memory_bytes, uint64_t seed = 0x55)
+      : summary_(CapacityFor(memory_bytes)), rng_(seed) {}
+
+  void Update(const Key& key, uint32_t weight) {
+    using Node = typename StreamSummary<Key>::Node;
+    if (Node* node = summary_.Find(key)) {
+      summary_.Increment(node, weight);
+      return;
+    }
+    if (!summary_.Full()) {
+      summary_.InsertNew(key, weight);
+      return;
+    }
+    Node* min = summary_.MinNode();
+    summary_.Increment(min, weight);
+    const uint64_t new_count = summary_.CountOf(min);
+    // Replace w.p. w / (C_min + w): the variance-minimizing rule (Thm. 1).
+    if (rng_.NextDouble() * static_cast<double>(new_count) <
+        static_cast<double>(weight)) {
+      summary_.Rekey(min, key);
+    }
+  }
+
+  uint64_t Query(const Key& key) {
+    auto* node = summary_.Find(key);
+    return node == nullptr ? 0 : summary_.CountOf(node);
+  }
+
+  std::unordered_map<Key, uint64_t> Decode() const { return summary_.ToMap(); }
+
+  void Clear() { summary_.Clear(); }
+
+  size_t MemoryBytes() const {
+    return summary_.capacity() * StreamSummary<Key>::EntryBytes();
+  }
+
+  size_t capacity() const { return summary_.capacity(); }
+
+  static size_t CapacityFor(size_t memory_bytes) {
+    const size_t cap = memory_bytes / StreamSummary<Key>::EntryBytes();
+    return cap == 0 ? 1 : cap;
+  }
+
+ private:
+  StreamSummary<Key> summary_;
+  Rng rng_;
+};
+
+// Textbook USS: a flat array scanned linearly for the minimum on every
+// untracked arrival. O(n) per packet — reproduces the throughput cliff the
+// paper reports for a straightforward implementation.
+template <typename Key>
+class NaiveUnbiasedSpaceSaving {
+ public:
+  explicit NaiveUnbiasedSpaceSaving(size_t memory_bytes, uint64_t seed = 0x55)
+      : capacity_(CapacityFor(memory_bytes)), rng_(seed) {
+    entries_.reserve(capacity_);
+  }
+
+  void Update(const Key& key, uint32_t weight) {
+    for (auto& e : entries_) {
+      if (e.first == key) {
+        e.second += weight;
+        return;
+      }
+    }
+    if (entries_.size() < capacity_) {
+      entries_.emplace_back(key, weight);
+      return;
+    }
+    size_t min_idx = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].second < entries_[min_idx].second) min_idx = i;
+    }
+    auto& min = entries_[min_idx];
+    min.second += weight;
+    if (rng_.NextDouble() * static_cast<double>(min.second) <
+        static_cast<double>(weight)) {
+      min.first = key;
+    }
+  }
+
+  uint64_t Query(const Key& key) const {
+    for (const auto& e : entries_) {
+      if (e.first == key) return e.second;
+    }
+    return 0;
+  }
+
+  std::unordered_map<Key, uint64_t> Decode() const {
+    return {entries_.begin(), entries_.end()};
+  }
+
+  void Clear() { entries_.clear(); }
+
+  size_t MemoryBytes() const {
+    return capacity_ * (sizeof(Key) + sizeof(uint64_t));
+  }
+
+  static size_t CapacityFor(size_t memory_bytes) {
+    const size_t cap = memory_bytes / (sizeof(Key) + sizeof(uint64_t));
+    return cap == 0 ? 1 : cap;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<std::pair<Key, uint64_t>> entries_;
+  Rng rng_;
+};
+
+}  // namespace coco::sketch

@@ -1,0 +1,149 @@
+#include "trace/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace coco::trace {
+
+TraceConfig TraceConfig::CaidaLike(size_t packets) {
+  TraceConfig c;
+  c.num_packets = packets;
+  // CAIDA 60s Chicago: ~27M packets over ~1.3M 5-tuple flows; we keep the
+  // same packets-per-flow ratio (~20) and skew when scaling down.
+  c.num_flows = std::max<size_t>(1000, packets / 20);
+  c.zipf_alpha = 1.05;
+  c.num_networks = 256;
+  c.network_alpha = 0.8;
+  c.seed = 0xca1da;
+  return c;
+}
+
+TraceConfig TraceConfig::MawiLike(size_t packets) {
+  TraceConfig c;
+  c.num_packets = packets;
+  // MAWI transit link: flatter tail, more flows per packet.
+  c.num_flows = std::max<size_t>(1000, packets / 10);
+  c.zipf_alpha = 0.95;
+  c.num_networks = 512;
+  c.network_alpha = 0.6;
+  c.seed = 0x3a317;
+  return c;
+}
+
+FlowUniverse::FlowUniverse(const TraceConfig& config)
+    : network_picker_(ZipfWeights(config.num_networks, config.network_alpha)) {
+  Rng rng(config.seed);
+
+  // Popular /16 networks: structured so aggregating by prefix concentrates
+  // traffic, as on real links.
+  network_prefixes_.resize(config.num_networks);
+  for (auto& p : network_prefixes_) {
+    p = static_cast<uint32_t>(rng.Next()) & 0xffff0000u;
+  }
+
+  GenerateFlows(config, rng);
+  weights_ = ZipfWeights(config.num_flows, config.zipf_alpha);
+}
+
+void FlowUniverse::GenerateFlows(const TraceConfig& config, Rng& rng) {
+  flows_.reserve(config.num_flows);
+  std::unordered_set<FiveTuple> seen;
+  seen.reserve(config.num_flows * 2);
+  while (flows_.size() < config.num_flows) {
+    FiveTuple flow = RandomFlow(rng);
+    if (seen.insert(flow).second) {
+      flows_.push_back(flow);
+    }
+  }
+}
+
+FiveTuple FlowUniverse::RandomFlow(Rng& rng) {
+  // Source address: popular network + random host; destination likewise but
+  // from an independent draw, giving correlated (SrcIP,DstIP) mass.
+  const uint32_t src_net = network_prefixes_[network_picker_.Sample(rng)];
+  const uint32_t dst_net = network_prefixes_[network_picker_.Sample(rng)];
+  const uint32_t src_ip = src_net | (static_cast<uint32_t>(rng.Next()) & 0xffffu);
+  const uint32_t dst_ip = dst_net | (static_cast<uint32_t>(rng.Next()) & 0xffffu);
+
+  // Ports: mix of well-known destination services and ephemeral sources.
+  static constexpr uint16_t kServices[] = {80, 443, 53, 22, 123, 25, 8080};
+  const uint16_t dst_port =
+      rng.Bernoulli(0.7)
+          ? kServices[rng.NextBelow(std::size(kServices))]
+          : static_cast<uint16_t>(1024 + rng.NextBelow(64511));
+  const uint16_t src_port = static_cast<uint16_t>(1024 + rng.NextBelow(64511));
+  const uint8_t proto = rng.Bernoulli(0.85) ? 6 : 17;  // TCP-dominant
+  return FiveTuple(src_ip, dst_ip, src_port, dst_port, proto);
+}
+
+void FlowUniverse::Churn(double fraction, Rng& rng) {
+  COCO_CHECK(fraction >= 0.0 && fraction <= 1.0, "bad churn fraction");
+  const size_t n = flows_.size();
+  const size_t to_replace = static_cast<size_t>(fraction * n);
+
+  // Replace a random subset of flows with fresh identities: those flows drop
+  // to zero and new flows appear — both are heavy changes when the slot is a
+  // heavy rank.
+  for (size_t i = 0; i < to_replace; ++i) {
+    flows_[rng.NextBelow(n)] = RandomFlow(rng);
+  }
+
+  // Swap ranks between random pairs so surviving flows change volume.
+  const size_t to_swap = to_replace;
+  for (size_t i = 0; i < to_swap; ++i) {
+    const size_t a = rng.NextBelow(n);
+    const size_t b = rng.NextBelow(n);
+    std::swap(flows_[a], flows_[b]);
+  }
+}
+
+std::vector<Packet> GenerateTrace(const TraceConfig& config) {
+  FlowUniverse universe(config);
+  return GenerateTraceFrom(universe, config.num_packets, config.seed ^ 0x9a9,
+                           config.weight_mode);
+}
+
+namespace {
+
+// Bimodal wire-size model: 40% 64B control/ack packets, 50% MTU-sized data,
+// 10% uniform mid-size.
+uint32_t SamplePacketBytes(Rng& rng) {
+  const double u = rng.NextDouble();
+  if (u < 0.4) return 64;
+  if (u < 0.9) return 1500;
+  return 65 + static_cast<uint32_t>(rng.NextBelow(1435));
+}
+
+}  // namespace
+
+std::vector<Packet> GenerateTraceFrom(const FlowUniverse& universe,
+                                      size_t num_packets, uint64_t seed,
+                                      WeightMode mode) {
+  Rng rng(seed);
+  AliasTable picker(universe.weights());
+  std::vector<Packet> packets;
+  packets.reserve(num_packets);
+  for (size_t i = 0; i < num_packets; ++i) {
+    Packet p;
+    p.key = universe.flows()[picker.Sample(rng)];
+    p.weight = mode == WeightMode::kPackets ? 1 : SamplePacketBytes(rng);
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+EpochPair GenerateChurnPair(const TraceConfig& config, double churn_fraction) {
+  FlowUniverse universe(config);
+  EpochPair pair;
+  pair.before = GenerateTraceFrom(universe, config.num_packets,
+                                  config.seed ^ 0xbef0e, config.weight_mode);
+  Rng churn_rng(config.seed ^ 0xc44e);
+  universe.Churn(churn_fraction, churn_rng);
+  pair.after = GenerateTraceFrom(universe, config.num_packets,
+                                 config.seed ^ 0xaf7e, config.weight_mode);
+  return pair;
+}
+
+}  // namespace coco::trace

@@ -1,0 +1,83 @@
+// Synthetic trace generators standing in for the paper's CAIDA and MAWI
+// traces (see DESIGN.md §1 for the substitution argument).
+//
+// A trace is a vector of (FiveTuple, weight) packets. Flow identifiers are
+// drawn from a hierarchically structured address universe so that prefix
+// aggregation (the HHH experiments) is non-trivial: popular /16 networks
+// contain many related hosts, exactly the structure bit-prefix queries
+// exploit. Per-packet flow choice follows a Zipf rank-frequency law.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "packet/keys.h"
+#include "trace/zipf.h"
+
+namespace coco::trace {
+
+// Per-packet weight semantics: count packets (weight 1) or bytes (a bimodal
+// wire-size model: TCP acks at 64B, MTU-sized data at 1500B, a uniform
+// remainder — the shape that makes byte-weighted heavy hitters differ from
+// packet-weighted ones).
+enum class WeightMode { kPackets, kBytes };
+
+struct TraceConfig {
+  size_t num_packets = 1'000'000;
+  size_t num_flows = 60'000;
+  double zipf_alpha = 1.05;  // rank-frequency skew of per-packet flow choice
+  size_t num_networks = 256;     // distinct popular /16s in the universe
+  double network_alpha = 0.8;    // skew of network popularity
+  WeightMode weight_mode = WeightMode::kPackets;
+  uint64_t seed = 1;
+
+  // Parameter presets modeled on the two traces of §7.1. Packet counts are
+  // scaled down from 27M/13M to laptop-friendly defaults; pass a different
+  // `packets` to re-scale (accuracy results depend on the distribution, not
+  // the absolute count).
+  static TraceConfig CaidaLike(size_t packets = 1'000'000);
+  static TraceConfig MawiLike(size_t packets = 1'000'000);
+};
+
+// The set of distinct flows a trace draws from, with their sampling weights.
+// Exposed so tests can inspect distributional properties and so the heavy
+// change generator can perturb a universe between epochs.
+class FlowUniverse {
+ public:
+  FlowUniverse(const TraceConfig& config);
+
+  const std::vector<FiveTuple>& flows() const { return flows_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  // Replaces a `fraction` of flows with fresh ones and re-ranks another
+  // `fraction` (rank swap between heavy and light flows), producing the
+  // second epoch of a heavy-change workload.
+  void Churn(double fraction, Rng& rng);
+
+ private:
+  void GenerateFlows(const TraceConfig& config, Rng& rng);
+  FiveTuple RandomFlow(Rng& rng);
+
+  std::vector<FiveTuple> flows_;
+  std::vector<double> weights_;
+  std::vector<uint32_t> network_prefixes_;  // /16s, host order
+  AliasTable network_picker_;
+};
+
+// Materializes `config.num_packets` packets drawn i.i.d. from the universe.
+std::vector<Packet> GenerateTrace(const TraceConfig& config);
+
+// Same, from an existing universe (used for multi-epoch workloads).
+std::vector<Packet> GenerateTraceFrom(const FlowUniverse& universe,
+                                      size_t num_packets, uint64_t seed,
+                                      WeightMode mode = WeightMode::kPackets);
+
+// Two epochs over a churned universe, for heavy change detection (Fig. 10).
+struct EpochPair {
+  std::vector<Packet> before;
+  std::vector<Packet> after;
+};
+EpochPair GenerateChurnPair(const TraceConfig& config, double churn_fraction);
+
+}  // namespace coco::trace

@@ -1,0 +1,90 @@
+#include "trace/trace_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace coco::trace {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'O', 'C', 'O', 'T', 'R', 'C', '1'};
+constexpr size_t kRecordSize = FiveTuple::kSize + sizeof(uint32_t);
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool WriteTrace(const std::string& path, const std::vector<Packet>& trace) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic)) {
+    return false;
+  }
+  const uint64_t count = trace.size();
+  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) return false;
+
+  // Buffered record serialization: batch into a staging buffer to avoid one
+  // fwrite per packet.
+  std::vector<uint8_t> buf;
+  buf.reserve(64 * 1024);
+  for (const Packet& p : trace) {
+    const size_t off = buf.size();
+    buf.resize(off + kRecordSize);
+    std::memcpy(buf.data() + off, p.key.data(), FiveTuple::kSize);
+    std::memcpy(buf.data() + off + FiveTuple::kSize, &p.weight,
+                sizeof(p.weight));
+    if (buf.size() >= 64 * 1024) {
+      if (std::fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+        return false;
+      }
+      buf.clear();
+    }
+  }
+  if (!buf.empty() &&
+      std::fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<Packet> ReadTrace(const std::string& path, bool* ok) {
+  *ok = false;
+  std::vector<Packet> trace;
+
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return trace;
+
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return trace;
+  }
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return trace;
+
+  // Never trust the claimed count for the allocation: a corrupted header
+  // must not trigger a huge reserve. Grow naturally beyond the cap.
+  trace.reserve(static_cast<size_t>(std::min<uint64_t>(count, 1u << 20)));
+  std::vector<uint8_t> buf(kRecordSize);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (std::fread(buf.data(), 1, kRecordSize, f.get()) != kRecordSize) {
+      trace.clear();
+      return trace;
+    }
+    Packet p;
+    std::memcpy(p.key.data(), buf.data(), FiveTuple::kSize);
+    std::memcpy(&p.weight, buf.data() + FiveTuple::kSize, sizeof(p.weight));
+    trace.push_back(p);
+  }
+  *ok = true;
+  return trace;
+}
+
+}  // namespace coco::trace

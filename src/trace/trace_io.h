@@ -1,0 +1,22 @@
+// Binary trace persistence.
+//
+// Format: 8-byte magic "COCOTRC1", uint64 packet count, then packed records
+// of 13-byte 5-tuple + uint32 little-endian weight. Used by the examples so a
+// generated workload can be inspected and replayed deterministically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "packet/keys.h"
+
+namespace coco::trace {
+
+// Writes `trace` to `path`. Returns false on I/O failure.
+bool WriteTrace(const std::string& path, const std::vector<Packet>& trace);
+
+// Reads a trace written by WriteTrace. Returns an empty vector and sets
+// *ok=false on failure or malformed input.
+std::vector<Packet> ReadTrace(const std::string& path, bool* ok);
+
+}  // namespace coco::trace

@@ -1,0 +1,69 @@
+#include "trace/zipf.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coco::trace {
+
+std::vector<double> ZipfWeights(size_t n, double alpha) {
+  COCO_CHECK(n > 0, "zipf over empty support");
+  std::vector<double> w(n);
+  for (size_t r = 0; r < n; ++r) {
+    w[r] = 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+  }
+  return w;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights)
+    : prob_(weights.size()), alias_(weights.size()) {
+  const size_t n = weights.size();
+  COCO_CHECK(n > 0, "alias table over empty support");
+
+  double total = 0.0;
+  for (double w : weights) {
+    COCO_CHECK(w >= 0.0, "negative weight");
+    total += w;
+  }
+  COCO_CHECK(total > 0.0, "all weights zero");
+
+  // Scale to mean 1 and split into under-/over-full columns.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    const uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numeric leftovers are exactly-full columns.
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  const size_t column = rng.NextBelow(prob_.size());
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace coco::trace

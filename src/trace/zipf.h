@@ -1,0 +1,36 @@
+// Discrete sampling utilities for workload synthesis.
+//
+// AliasTable implements Walker/Vose alias sampling: O(n) construction, O(1)
+// per draw — important because the generators draw one flow per packet and
+// traces run to tens of millions of packets. ZipfWeights produces the
+// heavy-tailed rank-frequency law that Internet traces follow; the CAIDA-like
+// and MAWI-like generators differ mainly in the exponent and flow count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace coco::trace {
+
+// Unnormalized Zipf weights w_r = 1 / (r+1)^alpha for ranks r in [0, n).
+std::vector<double> ZipfWeights(size_t n, double alpha);
+
+// Vose's alias method over an arbitrary non-negative weight vector.
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights);
+
+  // Draws an index in [0, n) with probability proportional to its weight.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace coco::trace

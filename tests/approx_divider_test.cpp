@@ -1,0 +1,81 @@
+// Tests for the Tofino math-unit approximate division model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "hw/approx_divider.h"
+
+namespace coco::hw {
+namespace {
+
+TEST(ApproxDivider, SmallValuesExact) {
+  for (uint32_t v = 2; v <= 15; ++v) {
+    EXPECT_EQ(ApproxDivider::Reciprocal(v),
+              static_cast<uint32_t>((uint64_t{1} << 32) / v))
+        << "v=" << v;
+  }
+}
+
+TEST(ApproxDivider, ZeroAndOneSaturate) {
+  EXPECT_EQ(ApproxDivider::Reciprocal(0),
+            std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(ApproxDivider::Reciprocal(1),
+            std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(ApproxDivider::ExactReciprocal(1),
+            std::numeric_limits<uint32_t>::max());
+}
+
+TEST(ApproxDivider, ExactReciprocalMatchesDivision) {
+  for (uint32_t v : {2u, 17u, 1000u, 123456u, 0x80000000u}) {
+    EXPECT_EQ(ApproxDivider::ExactReciprocal(v),
+              static_cast<uint32_t>((uint64_t{1} << 32) / v));
+  }
+}
+
+TEST(ApproxDivider, RelativeErrorWithinTruncationEnvelope) {
+  // Truncating to the top 4 bits underestimates the operand by < 1/8, so
+  // the reciprocal overestimates by at most a factor 16/15... bounded by
+  // 12.5% relative for all widths (paper: "usually below 0.1 p").
+  for (uint32_t v = 16; v < (1u << 20); v = v * 5 / 4 + 1) {
+    const double exact =
+        static_cast<double>(uint64_t{1} << 32) / static_cast<double>(v);
+    const double approx = static_cast<double>(ApproxDivider::Reciprocal(v));
+    const double rel = (approx - exact) / exact;
+    EXPECT_GE(rel, -1e-9) << "v=" << v;  // never underestimates p
+    EXPECT_LE(rel, 0.1251) << "v=" << v;
+  }
+}
+
+TEST(ApproxDivider, PaperExampleOneSeventeenth) {
+  // §6.2: for p = 1/17 the difference is only ~0.37%... truncation keeps 17's
+  // top 4 bits (=8 after shift 1 → mantissa 8, approx value 16), giving
+  // 1/16 vs 1/17: 6.25% with pure truncation. Check we are inside the
+  // documented truncation envelope and monotone.
+  const double exact = std::pow(2.0, 32) / 17.0;
+  const double approx = static_cast<double>(ApproxDivider::Reciprocal(17));
+  EXPECT_NEAR(approx / exact, 17.0 / 16.0, 1e-3);
+}
+
+TEST(ApproxDivider, MonotoneNonIncreasing) {
+  uint32_t prev = ApproxDivider::Reciprocal(2);
+  for (uint32_t v = 3; v < 100000; v += 7) {
+    const uint32_t cur = ApproxDivider::Reciprocal(v);
+    EXPECT_LE(cur, prev) << "v=" << v;
+    prev = cur;
+  }
+}
+
+TEST(ApproxDivider, PowersOfTwoExact) {
+  // When the value is exactly mantissa * 2^k with a 4-bit mantissa, the
+  // approximation is exact.
+  for (int k = 0; k < 28; ++k) {
+    const uint32_t v = 8u << k;
+    EXPECT_EQ(ApproxDivider::Reciprocal(v),
+              static_cast<uint32_t>((uint64_t{1} << 32) / v))
+        << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace coco::hw

@@ -1,0 +1,139 @@
+// Tests for the Count-Min sketch and the CM-Heap heavy-hitter pipeline.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/sizes.h"
+#include "packet/keys.h"
+#include "sketch/count_min.h"
+#include "trace/generators.h"
+#include "trace/ground_truth.h"
+
+namespace coco::sketch {
+namespace {
+
+TEST(CountMin, NeverUnderestimates) {
+  // The defining CM property: estimate >= true count, always.
+  CountMinSketch<IPv4Key> cm(KiB(4));
+  Rng rng(1);
+  std::unordered_map<uint32_t, uint64_t> exact;
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBelow(3000));
+    cm.Update(IPv4Key(key), 1);
+    ++exact[key];
+  }
+  for (const auto& [key, count] : exact) {
+    EXPECT_GE(cm.Query(IPv4Key(key)), count);
+  }
+}
+
+TEST(CountMin, ExactWithoutCollisions) {
+  CountMinSketch<IPv4Key> cm(KiB(64));
+  cm.Update(IPv4Key(42), 7);
+  cm.Update(IPv4Key(42), 3);
+  EXPECT_EQ(cm.Query(IPv4Key(42)), 10u);
+}
+
+TEST(CountMin, UnseenKeyWithEmptySketchIsZero) {
+  CountMinSketch<IPv4Key> cm(KiB(4));
+  EXPECT_EQ(cm.Query(IPv4Key(7)), 0u);
+}
+
+TEST(CountMin, WeightedUpdates) {
+  CountMinSketch<IPv4Key> cm(KiB(16));
+  cm.Update(IPv4Key(1), 1500);
+  cm.Update(IPv4Key(1), 64);
+  EXPECT_GE(cm.Query(IPv4Key(1)), 1564u);
+}
+
+TEST(CountMin, ClearResets) {
+  CountMinSketch<IPv4Key> cm(KiB(4));
+  cm.Update(IPv4Key(1), 100);
+  cm.Clear();
+  EXPECT_EQ(cm.Query(IPv4Key(1)), 0u);
+}
+
+TEST(CountMin, MemoryAccounting) {
+  CountMinSketch<IPv4Key> cm(KiB(12), 3);
+  EXPECT_LE(cm.MemoryBytes(), KiB(12));
+  EXPECT_EQ(cm.width(), KiB(12) / (3 * sizeof(uint32_t)));
+}
+
+TEST(CountMin, ConservativeNeverExceedsPlain) {
+  // Conservative update only raises the minimum counters, so its estimates
+  // are sandwiched: true count <= conservative <= plain.
+  CountMinSketch<IPv4Key> plain(KiB(2), 3, 0xc0, false);
+  CountMinSketch<IPv4Key> conservative(KiB(2), 3, 0xc0, true);
+  Rng rng(2);
+  std::unordered_map<uint32_t, uint64_t> exact;
+  for (int i = 0; i < 30000; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBelow(2000));
+    plain.Update(IPv4Key(key), 1);
+    conservative.Update(IPv4Key(key), 1);
+    ++exact[key];
+  }
+  for (const auto& [key, count] : exact) {
+    const uint64_t c = conservative.Query(IPv4Key(key));
+    EXPECT_GE(c, count);
+    EXPECT_LE(c, plain.Query(IPv4Key(key)));
+  }
+}
+
+TEST(CountMin, ErrorBoundHolds) {
+  // Classic CM bound: with width w, error <= e*N/w with probability
+  // 1 - (1/e)^rows per key; check the 99th percentile stays under 3*N/w.
+  const size_t mem = KiB(8);
+  CountMinSketch<IPv4Key> cm(mem, 3);
+  const size_t width = cm.width();
+  Rng rng(3);
+  std::unordered_map<uint32_t, uint64_t> exact;
+  const uint64_t n = 100000;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBelow(50000));
+    cm.Update(IPv4Key(key), 1);
+    ++exact[key];
+  }
+  std::vector<uint64_t> errors;
+  for (const auto& [key, count] : exact) {
+    errors.push_back(cm.Query(IPv4Key(key)) - count);
+  }
+  std::sort(errors.begin(), errors.end());
+  const uint64_t p99 = errors[errors.size() * 99 / 100];
+  EXPECT_LE(p99, 3 * n / width);
+}
+
+TEST(CmHeap, DecodeReportsHeavyHitters) {
+  trace::TraceConfig config = trace::TraceConfig::CaidaLike(100000);
+  const auto trace = trace::GenerateTrace(config);
+  const auto truth = trace::CountTrace(trace);
+
+  CmHeap<FiveTuple> cmh(KiB(256), 1024);
+  for (const Packet& p : trace) cmh.Update(p.key, p.weight);
+
+  const uint64_t threshold = truth.Total() / 1000;
+  const auto decoded = cmh.Decode();
+  size_t found = 0, heavy = 0;
+  for (const auto& [key, count] : truth.HeavyHitters(threshold)) {
+    ++heavy;
+    auto it = decoded.find(key);
+    found += (it != decoded.end() && it->second >= threshold);
+  }
+  ASSERT_GT(heavy, 0u);
+  EXPECT_GT(static_cast<double>(found) / heavy, 0.9);
+}
+
+TEST(CmHeap, MemoryIncludesHeap) {
+  CmHeap<FiveTuple> cmh(KiB(256), 512);
+  EXPECT_LE(cmh.MemoryBytes(), KiB(256) + 1024);
+  EXPECT_GT(cmh.MemoryBytes(), 512 * TopKHeap<FiveTuple>::EntryBytes());
+}
+
+TEST(CmHeap, ClearResets) {
+  CmHeap<IPv4Key> cmh(KiB(64), 16);
+  cmh.Update(IPv4Key(1), 100);
+  cmh.Clear();
+  EXPECT_EQ(cmh.Query(IPv4Key(1)), 0u);
+  EXPECT_TRUE(cmh.Decode().empty());
+}
+
+}  // namespace
+}  // namespace coco::sketch

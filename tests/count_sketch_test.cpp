@@ -1,0 +1,89 @@
+// Tests for the Count sketch and the C-Heap pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/sizes.h"
+#include "packet/keys.h"
+#include "sketch/count_sketch.h"
+
+namespace coco::sketch {
+namespace {
+
+TEST(CountSketch, ExactWithoutCollisions) {
+  CountSketch<IPv4Key> cs(KiB(64));
+  cs.Update(IPv4Key(5), 11);
+  cs.Update(IPv4Key(5), 9);
+  EXPECT_EQ(cs.Query(IPv4Key(5)), 20u);
+}
+
+TEST(CountSketch, UnseenKeyEmptySketch) {
+  CountSketch<IPv4Key> cs(KiB(4));
+  EXPECT_EQ(cs.Query(IPv4Key(1)), 0u);
+}
+
+TEST(CountSketch, NearUnbiasedUnderCollisions) {
+  // Signed cancellation: the mean SIGNED-median error over many keys should
+  // be near zero (unlike CM's strictly positive bias). The clamped Query is
+  // biased upward by construction, so the check uses SignedQuery.
+  CountSketch<IPv4Key> cs(KiB(4));
+  Rng rng(4);
+  std::unordered_map<uint32_t, uint64_t> exact;
+  for (int i = 0; i < 100000; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBelow(20000));
+    cs.Update(IPv4Key(key), 1);
+    ++exact[key];
+  }
+  double signed_error = 0;
+  double clamped_error = 0;
+  for (const auto& [key, count] : exact) {
+    signed_error += static_cast<double>(cs.SignedQuery(IPv4Key(key))) -
+                    static_cast<double>(count);
+    clamped_error += static_cast<double>(cs.Query(IPv4Key(key))) -
+                     static_cast<double>(count);
+  }
+  const double n = static_cast<double>(exact.size());
+  EXPECT_LT(std::abs(signed_error / n), 3.0);
+  // The clamp can only push estimates up.
+  EXPECT_GE(clamped_error, signed_error);
+}
+
+TEST(CountSketch, HeavyKeysAccurate) {
+  CountSketch<IPv4Key> cs(KiB(32));
+  Rng rng(5);
+  // One elephant among mice.
+  for (int i = 0; i < 50000; ++i) {
+    cs.Update(IPv4Key(0xe1e), 1);
+    cs.Update(IPv4Key(static_cast<uint32_t>(rng.NextBelow(10000)) + 1), 1);
+  }
+  const uint64_t est = cs.Query(IPv4Key(0xe1e));
+  EXPECT_NEAR(static_cast<double>(est), 50000.0, 2500.0);
+}
+
+TEST(CountSketch, ClearResets) {
+  CountSketch<IPv4Key> cs(KiB(4));
+  cs.Update(IPv4Key(3), 10);
+  cs.Clear();
+  EXPECT_EQ(cs.Query(IPv4Key(3)), 0u);
+}
+
+TEST(CHeap, TracksElephants) {
+  CHeap<IPv4Key> ch(KiB(64), 32);
+  Rng rng(6);
+  for (int i = 0; i < 20000; ++i) {
+    ch.Update(IPv4Key(1), 1);  // elephant
+    ch.Update(IPv4Key(static_cast<uint32_t>(rng.NextBelow(5000)) + 10), 1);
+  }
+  const auto decoded = ch.Decode();
+  ASSERT_TRUE(decoded.count(IPv4Key(1)));
+  EXPECT_NEAR(static_cast<double>(decoded.at(IPv4Key(1))), 20000.0, 2000.0);
+}
+
+TEST(CHeap, MemoryAccounting) {
+  CHeap<IPv4Key> ch(KiB(64), 32);
+  EXPECT_LE(ch.MemoryBytes(), KiB(64) + 1024);
+}
+
+}  // namespace
+}  // namespace coco::sketch

@@ -1,0 +1,84 @@
+// Tests for the distinct-counting (spread) CocoSketch extension.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/distinct_cocosketch.h"
+#include "packet/keys.h"
+
+namespace coco::core {
+namespace {
+
+TEST(DistinctCoco, SingleKeyExactSpread) {
+  DistinctCocoSketch<IPv4Key, IPv4Key> sketch(2, 64, 10);
+  for (uint32_t s = 0; s < 500; ++s) {
+    sketch.Update(IPv4Key(0xd5f), IPv4Key(s));
+  }
+  EXPECT_NEAR(sketch.Query(IPv4Key(0xd5f)), 500.0, 50.0);
+}
+
+TEST(DistinctCoco, DuplicatesDoNotInflateSpread) {
+  DistinctCocoSketch<IPv4Key, IPv4Key> sketch(2, 64, 10);
+  for (int i = 0; i < 10000; ++i) {
+    sketch.Update(IPv4Key(1), IPv4Key(static_cast<uint32_t>(i % 10)));
+  }
+  EXPECT_NEAR(sketch.Query(IPv4Key(1)), 10.0, 2.0);
+}
+
+TEST(DistinctCoco, QueryMonotoneInObservedItems) {
+  DistinctCocoSketch<IPv4Key, IPv4Key> sketch(2, 64, 10);
+  double prev = 0;
+  for (uint32_t batch = 1; batch <= 10; ++batch) {
+    for (uint32_t s = 0; s < 100; ++s) {
+      sketch.Update(IPv4Key(7), IPv4Key(batch * 1000 + s));
+    }
+    const double est = sketch.Query(IPv4Key(7));
+    EXPECT_GE(est, prev - 1.0);  // HLL estimates are monotone up to rounding
+    prev = est;
+  }
+}
+
+TEST(DistinctCoco, SuperSpreaderRanksFirst) {
+  // One destination contacted by 5000 distinct sources among noise keys
+  // with <= 20 sources each must decode with the top spread.
+  DistinctCocoSketch<IPv4Key, IPv4Key> sketch(2, 256, 8);
+  Rng rng(5);
+  for (uint32_t s = 0; s < 5000; ++s) {
+    sketch.Update(IPv4Key(0x5ead), IPv4Key(s));
+  }
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t victim = 1 + static_cast<uint32_t>(rng.NextBelow(1000));
+    const uint32_t src = static_cast<uint32_t>(rng.NextBelow(20));
+    sketch.Update(IPv4Key(victim), IPv4Key(src));
+  }
+  const auto decoded = sketch.Decode();
+  ASSERT_TRUE(decoded.count(IPv4Key(0x5ead)));
+  double best = 0;
+  IPv4Key best_key;
+  for (const auto& [key, spread] : decoded) {
+    if (spread > best) {
+      best = spread;
+      best_key = key;
+    }
+  }
+  EXPECT_EQ(best_key, IPv4Key(0x5ead));
+  EXPECT_NEAR(best, 5000.0, 0.2 * 5000.0);
+}
+
+TEST(DistinctCoco, ClearResets) {
+  DistinctCocoSketch<IPv4Key, IPv4Key> sketch(2, 16, 6);
+  sketch.Update(IPv4Key(1), IPv4Key(2));
+  sketch.Clear();
+  EXPECT_DOUBLE_EQ(sketch.Query(IPv4Key(1)), 0.0);
+  EXPECT_TRUE(sketch.Decode().empty());
+}
+
+TEST(DistinctCoco, MemoryAccounting) {
+  DistinctCocoSketch<IPv4Key, IPv4Key> sketch(2, 100, 8);
+  // 200 buckets x (4B key + flag + 256B HLL).
+  EXPECT_GE(sketch.MemoryBytes(), 200u * 256u);
+}
+
+}  // namespace
+}  // namespace coco::core

@@ -1,0 +1,86 @@
+// Tests for the Elastic sketch (heavy part + light part).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/sizes.h"
+#include "packet/keys.h"
+#include "sketch/elastic.h"
+#include "trace/generators.h"
+#include "trace/ground_truth.h"
+
+namespace coco::sketch {
+namespace {
+
+TEST(Elastic, SingleFlowExact) {
+  ElasticSketch<IPv4Key> es(KiB(64));
+  for (int i = 0; i < 1000; ++i) es.Update(IPv4Key(7), 1);
+  EXPECT_EQ(es.Query(IPv4Key(7)), 1000u);
+}
+
+TEST(Elastic, WeightedUpdates) {
+  ElasticSketch<IPv4Key> es(KiB(64));
+  es.Update(IPv4Key(7), 1500);
+  es.Update(IPv4Key(7), 500);
+  EXPECT_EQ(es.Query(IPv4Key(7)), 2000u);
+}
+
+TEST(Elastic, ElephantSurvivesMice) {
+  // The vote mechanism must keep a persistent elephant in the heavy part
+  // despite a stream of colliding mice.
+  ElasticSketch<IPv4Key> es(KiB(16));
+  Rng rng(1);
+  for (int i = 0; i < 30000; ++i) {
+    es.Update(IPv4Key(0xbeef), 1);
+    es.Update(IPv4Key(static_cast<uint32_t>(rng.NextBelow(50000)) + 1), 1);
+  }
+  const uint64_t est = es.Query(IPv4Key(0xbeef));
+  EXPECT_GT(est, 25000u);
+  const auto decoded = es.Decode();
+  EXPECT_TRUE(decoded.count(IPv4Key(0xbeef)));
+}
+
+TEST(Elastic, MiceLandInLightPart) {
+  ElasticSketch<IPv4Key> es(KiB(8));
+  // Two flows colliding in one bucket: the big one owns it, the small one is
+  // voted out but remains queryable through the light part.
+  for (int i = 0; i < 1000; ++i) es.Update(IPv4Key(1), 1);
+  for (int i = 0; i < 3; ++i) es.Update(IPv4Key(2), 1);
+  EXPECT_GE(es.Query(IPv4Key(2)), 3u);  // light part (CM-style, one-sided)
+}
+
+TEST(Elastic, DecodeReportsHeavyHitters) {
+  trace::TraceConfig config = trace::TraceConfig::CaidaLike(100000);
+  const auto trace = trace::GenerateTrace(config);
+  const auto truth = trace::CountTrace(trace);
+
+  ElasticSketch<FiveTuple> es(KiB(256));
+  for (const Packet& p : trace) es.Update(p.key, p.weight);
+
+  const uint64_t threshold = truth.Total() / 1000;
+  const auto decoded = es.Decode();
+  size_t heavy = 0, found = 0;
+  for (const auto& [key, count] : truth.HeavyHitters(threshold)) {
+    ++heavy;
+    auto it = decoded.find(key);
+    found += (it != decoded.end() && it->second >= threshold);
+  }
+  ASSERT_GT(heavy, 0u);
+  EXPECT_GT(static_cast<double>(found) / heavy, 0.85);
+}
+
+TEST(Elastic, ClearResets) {
+  ElasticSketch<IPv4Key> es(KiB(8));
+  es.Update(IPv4Key(1), 100);
+  es.Clear();
+  EXPECT_EQ(es.Query(IPv4Key(1)), 0u);
+  EXPECT_TRUE(es.Decode().empty());
+}
+
+TEST(Elastic, MemoryWithinBudget) {
+  ElasticSketch<FiveTuple> es(KiB(100));
+  EXPECT_LE(es.MemoryBytes(), KiB(100));
+  EXPECT_GT(es.MemoryBytes(), KiB(50));  // not wildly undersized either
+}
+
+}  // namespace
+}  // namespace coco::sketch

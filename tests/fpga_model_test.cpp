@@ -1,0 +1,95 @@
+// Tests for the FPGA pipeline/resource model.
+#include <gtest/gtest.h>
+
+#include "common/sizes.h"
+#include "hw/fpga_model.h"
+
+namespace coco::hw {
+namespace {
+
+TEST(FpgaModel, HardwareFriendlyIsFullyPipelined) {
+  const auto d = FpgaPipelineModel::CocoHardwareFriendly(MiB(1), 2);
+  EXPECT_EQ(d.initiation_interval, 1u);
+  EXPECT_GT(d.clock_mhz, 0.0);
+  EXPECT_DOUBLE_EQ(d.ThroughputMpps(), d.clock_mhz);
+}
+
+TEST(FpgaModel, BasicIsAboutFiveTimesSlower) {
+  // §7.4: "hardware-friendly CocoSketch achieves about 5 times higher
+  // throughput than basic CocoSketch" — at every memory point.
+  for (size_t mem : {MiB(1) / 4, MiB(1) / 2, MiB(1), MiB(2)}) {
+    const auto hw = FpgaPipelineModel::CocoHardwareFriendly(mem, 2);
+    const auto basic = FpgaPipelineModel::CocoBasic(mem, 2);
+    EXPECT_NEAR(hw.ThroughputMpps() / basic.ThroughputMpps(), 5.0, 0.01)
+        << FormatBytes(mem);
+  }
+}
+
+TEST(FpgaModel, TwoMegabytePointMatchesPaper) {
+  // "With 2MB memory, the hardware-friendly CocoSketch is expected to achieve
+  // 150 Mpps, while the basic CocoSketch only reaches around 30 Mpps."
+  const auto hw = FpgaPipelineModel::CocoHardwareFriendly(MiB(2), 2);
+  const auto basic = FpgaPipelineModel::CocoBasic(MiB(2), 2);
+  EXPECT_NEAR(hw.ThroughputMpps(), 150.0, 10.0);
+  EXPECT_NEAR(basic.ThroughputMpps(), 30.0, 5.0);
+}
+
+TEST(FpgaModel, ClockDegradesWithMemory) {
+  const auto small = FpgaPipelineModel::CocoHardwareFriendly(MiB(1) / 4, 2);
+  const auto large = FpgaPipelineModel::CocoHardwareFriendly(MiB(2), 2);
+  EXPECT_GT(small.clock_mhz, large.clock_mhz);
+}
+
+TEST(FpgaModel, BramTileMath) {
+  // 36 Kbit = 4608 bytes per tile; 9 MB device = 2016 tiles + rounding up.
+  const auto d = FpgaPipelineModel::CocoHardwareFriendly(4608 * 10, 2);
+  EXPECT_EQ(d.bram_tiles, 10u);
+  const auto e = FpgaPipelineModel::CocoHardwareFriendly(4608 * 10 + 1, 2);
+  EXPECT_EQ(e.bram_tiles, 11u);
+}
+
+TEST(FpgaModel, DeviceFractions) {
+  const FpgaDeviceSpec dev = FpgaDeviceSpec::AlveoU280();
+  const auto d = FpgaPipelineModel::CocoHardwareFriendly(KiB(512), 2);
+  // 512KB of 9MB-ish BRAM is ~5.5-5.8%, the §7.4 figure for CocoSketch.
+  EXPECT_NEAR(d.BramFraction(dev), 0.057, 0.005);
+  EXPECT_LT(d.LutFraction(dev), 0.02);
+  EXPECT_LT(d.RegisterFraction(dev), 0.01);
+}
+
+TEST(FpgaModel, SixElasticVsCocoRegisters) {
+  // Fig. 15(c): measuring 6 keys, CocoSketch needs ~45x fewer registers than
+  // 6 Elastic instances.
+  const auto coco = FpgaPipelineModel::CocoHardwareFriendly(KiB(512), 2);
+  const auto elastic6 =
+      FpgaPipelineModel::Replicate(FpgaPipelineModel::Elastic(KiB(512)), 6);
+  const double ratio = static_cast<double>(elastic6.registers) /
+                       static_cast<double>(coco.registers);
+  EXPECT_GT(ratio, 30.0);
+  EXPECT_LT(ratio, 60.0);
+}
+
+TEST(FpgaModel, SixElasticBramAroundOneThird) {
+  // §7.4: Block RAM 34% for 6*Elastic vs 5.8% for CocoSketch.
+  const FpgaDeviceSpec dev = FpgaDeviceSpec::AlveoU280();
+  const auto elastic6 =
+      FpgaPipelineModel::Replicate(FpgaPipelineModel::Elastic(KiB(512)), 6);
+  EXPECT_NEAR(elastic6.BramFraction(dev), 0.34, 0.05);
+}
+
+TEST(FpgaModel, ReplicateScalesLinearly) {
+  const auto one = FpgaPipelineModel::Elastic(KiB(256));
+  const auto four = FpgaPipelineModel::Replicate(one, 4);
+  EXPECT_EQ(four.bram_tiles, 4 * one.bram_tiles);
+  EXPECT_EQ(four.luts, 4 * one.luts);
+  EXPECT_EQ(four.registers, 4 * one.registers);
+  EXPECT_DOUBLE_EQ(four.clock_mhz, one.clock_mhz);
+}
+
+TEST(FpgaModel, ClockFloorEnforced) {
+  const auto huge = FpgaPipelineModel::CocoHardwareFriendly(MiB(512), 2);
+  EXPECT_GE(huge.clock_mhz, 60.0);
+}
+
+}  // namespace
+}  // namespace coco::hw

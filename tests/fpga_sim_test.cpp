@@ -1,0 +1,69 @@
+// Tests for the cycle-level FPGA pipeline simulator, including consistency
+// with the analytic FpgaPipelineModel.
+#include <gtest/gtest.h>
+
+#include "common/sizes.h"
+#include "hw/fpga_model.h"
+#include "hw/fpga_sim.h"
+
+namespace coco::hw {
+namespace {
+
+TEST(FpgaCycleSim, SinglePacketTakesPipelineDepth) {
+  FpgaCycleSim sim({{"a", 1, 1}, {"b", 2, 1}, {"c", 3, 1}});
+  EXPECT_EQ(sim.SimulatePackets(1), 6u);
+  EXPECT_EQ(sim.depth_cycles(), 6u);
+}
+
+TEST(FpgaCycleSim, FullyPipelinedReachesOnePerCycle) {
+  FpgaCycleSim sim({{"a", 1, 1}, {"b", 2, 1}, {"c", 2, 1}});
+  // N packets: depth + (N - 1) cycles.
+  EXPECT_EQ(sim.SimulatePackets(100), 5u + 99u);
+  EXPECT_NEAR(sim.CyclesPerPacket(), 1.0, 0.01);
+}
+
+TEST(FpgaCycleSim, BlockingStageLimitsThroughput) {
+  FpgaCycleSim sim({{"a", 1, 1}, {"rmw", 4, 4}});
+  // Steady state: one packet per 4 cycles (the blocking stage's II).
+  EXPECT_NEAR(sim.CyclesPerPacket(), 4.0, 0.01);
+}
+
+TEST(FpgaCycleSim, MixedIIsTakeTheMax) {
+  FpgaCycleSim sim({{"a", 2, 2}, {"b", 3, 3}, {"c", 1, 1}});
+  EXPECT_NEAR(sim.CyclesPerPacket(), 3.0, 0.01);
+}
+
+TEST(FpgaCycleSim, ZeroPackets) {
+  FpgaCycleSim sim({{"a", 1, 1}});
+  EXPECT_EQ(sim.SimulatePackets(0), 0u);
+}
+
+TEST(FpgaCycleSim, CocoHardwareFriendlyIsIIOne) {
+  const auto sim = FpgaCycleSim::CocoPipeline(2, /*hardware_friendly=*/true);
+  EXPECT_NEAR(sim.CyclesPerPacket(), 1.0, 0.01);
+  EXPECT_EQ(sim.depth_cycles(), 6u);  // hash 1 + BRAM 2 + prob 1 + BRAM 2
+}
+
+TEST(FpgaCycleSim, CocoBasicIsIIThree) {
+  const auto sim = FpgaCycleSim::CocoPipeline(2, /*hardware_friendly=*/false);
+  EXPECT_NEAR(sim.CyclesPerPacket(), 3.0, 0.01);
+}
+
+TEST(FpgaCycleSim, MatchesAnalyticModelThroughput) {
+  // Simulated cycles/packet x the analytic clock must reproduce the
+  // FpgaPipelineModel's throughput at every memory point.
+  for (size_t mem : {MiB(1) / 4, MiB(1), MiB(2)}) {
+    const auto analytic_hw = FpgaPipelineModel::CocoHardwareFriendly(mem, 2);
+    const auto sim_hw = FpgaCycleSim::CocoPipeline(2, true);
+    EXPECT_NEAR(sim_hw.ThroughputMpps(analytic_hw.clock_mhz),
+                analytic_hw.ThroughputMpps(), 0.5);
+
+    const auto analytic_basic = FpgaPipelineModel::CocoBasic(mem, 2);
+    const auto sim_basic = FpgaCycleSim::CocoPipeline(2, false);
+    EXPECT_NEAR(sim_basic.ThroughputMpps(analytic_basic.clock_mhz),
+                analytic_basic.ThroughputMpps(), 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace coco::hw

@@ -1,0 +1,128 @@
+// Unit tests for src/hash: determinism, seed independence, avalanche
+// behaviour, and bucket-distribution uniformity of the hash family.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "hash/bobhash.h"
+
+namespace coco::hash {
+namespace {
+
+TEST(BobHash, Deterministic) {
+  const char* data = "cocosketch";
+  EXPECT_EQ(BobHash32(data, 10, 1), BobHash32(data, 10, 1));
+}
+
+TEST(BobHash, SeedChangesOutput) {
+  const char* data = "cocosketch";
+  EXPECT_NE(BobHash32(data, 10, 1), BobHash32(data, 10, 2));
+}
+
+TEST(BobHash, LengthMatters) {
+  const char* data = "cocosketchcocosketch";
+  EXPECT_NE(BobHash32(data, 10, 1), BobHash32(data, 11, 1));
+}
+
+TEST(BobHash, EmptyInput) {
+  // Must not crash and must be seed-dependent even for empty input... the
+  // lookup3 zero-length path returns the initialized state, which embeds the
+  // seed.
+  EXPECT_NE(BobHash32(nullptr, 0, 1), BobHash32(nullptr, 0, 99));
+}
+
+TEST(BobHash, AllBlockSizes) {
+  // Exercise every tail-switch arm (1..12 bytes) and the >12 loop.
+  uint8_t buf[64];
+  for (size_t i = 0; i < sizeof(buf); ++i) buf[i] = static_cast<uint8_t>(i);
+  std::set<uint32_t> outputs;
+  for (size_t len = 1; len <= sizeof(buf); ++len) {
+    outputs.insert(BobHash32(buf, len, 7));
+  }
+  EXPECT_EQ(outputs.size(), sizeof(buf));  // all distinct
+}
+
+TEST(BobHash, SingleBitAvalanche) {
+  // Flipping any single input bit should flip roughly half the output bits.
+  uint8_t base[13] = {};
+  const uint32_t h0 = BobHash32(base, sizeof(base), 3);
+  double total_flips = 0;
+  int cases = 0;
+  for (size_t byte = 0; byte < sizeof(base); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      uint8_t mod[13] = {};
+      mod[byte] = static_cast<uint8_t>(1 << bit);
+      const uint32_t h1 = BobHash32(mod, sizeof(mod), 3);
+      total_flips += __builtin_popcount(h0 ^ h1);
+      ++cases;
+    }
+  }
+  const double mean_flips = total_flips / cases;
+  EXPECT_GT(mean_flips, 12.0);  // ideal is 16 of 32
+  EXPECT_LT(mean_flips, 20.0);
+}
+
+TEST(Hash64, DeterministicAndSeeded) {
+  const char* data = "partial key";
+  EXPECT_EQ(Hash64(data, 11, 5), Hash64(data, 11, 5));
+  EXPECT_NE(Hash64(data, 11, 5), Hash64(data, 11, 6));
+}
+
+TEST(Hash64, ShortAndLongInputs) {
+  std::set<uint64_t> outputs;
+  uint8_t buf[40];
+  std::memset(buf, 0xa5, sizeof(buf));
+  for (size_t len = 0; len <= sizeof(buf); ++len) {
+    outputs.insert(Hash64(buf, len, 0));
+  }
+  EXPECT_EQ(outputs.size(), sizeof(buf) + 1);
+}
+
+TEST(HashU64, MixesValues) {
+  EXPECT_NE(HashU64(0, 0), HashU64(1, 0));
+  EXPECT_NE(HashU64(5, 1), HashU64(5, 2));
+}
+
+TEST(HashFamily, IndependentIndices) {
+  HashFamily family(123);
+  const char* data = "flowkey";
+  EXPECT_NE(family(0, data, 7), family(1, data, 7));
+  EXPECT_NE(family(1, data, 7), family(2, data, 7));
+}
+
+TEST(HashFamily, BucketUniformity) {
+  // Chi-squared-style check: hashing distinct keys into 64 buckets should
+  // produce near-uniform occupancy.
+  HashFamily family(77);
+  const size_t buckets = 64;
+  const size_t n = 64000;
+  std::vector<size_t> histogram(buckets, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t key = i * 0x9e3779b97f4a7c15ULL;  // distinct structured keys
+    ++histogram[family(0, &key, sizeof(key)) % buckets];
+  }
+  const double expected = static_cast<double>(n) / buckets;
+  double chi2 = 0;
+  for (size_t c : histogram) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  // 63 degrees of freedom; 99.9th percentile is ~103.
+  EXPECT_LT(chi2, 110.0);
+}
+
+TEST(HashFamily, PairwiseRowIndependenceProxy) {
+  // Rows of a sketch must not be correlated: the joint distribution of
+  // (h0 % 16, h1 % 16) over many keys should cover all 256 cells.
+  HashFamily family(31337);
+  std::set<std::pair<uint32_t, uint32_t>> cells;
+  for (uint64_t i = 0; i < 8192; ++i) {
+    cells.insert({family(0, &i, sizeof(i)) % 16, family(1, &i, sizeof(i)) % 16});
+  }
+  EXPECT_EQ(cells.size(), 256u);
+}
+
+}  // namespace
+}  // namespace coco::hash

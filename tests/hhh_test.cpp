@@ -1,0 +1,109 @@
+// Tests for the discounted hierarchical-heavy-hitter evaluator.
+#include <gtest/gtest.h>
+
+#include "common/sizes.h"
+#include "core/cocosketch.h"
+#include "query/hhh.h"
+#include "trace/generators.h"
+
+namespace coco::query {
+namespace {
+
+FlowTable<IPv4Key> Table(std::initializer_list<std::pair<uint32_t, uint64_t>>
+                             rows) {
+  FlowTable<IPv4Key> t;
+  for (const auto& [addr, count] : rows) t[IPv4Key(addr)] = count;
+  return t;
+}
+
+TEST(DiscountedHhh, SingleHeavyHostReportedOnceNotAtAncestors) {
+  // One host with all the traffic: it is an HHH at /32; its ancestors see
+  // no UNDISCOUNTED traffic and must not be reported.
+  const auto table = Table({{0x0a000001, 1000}});
+  const auto hhh = DiscountedHhh(table, {32, 24, 16, 8, 0}, 100);
+  ASSERT_EQ(hhh.size(), 1u);
+  EXPECT_EQ(hhh[0].bits, 32);
+  EXPECT_EQ(hhh[0].discounted_count, 1000u);
+}
+
+TEST(DiscountedHhh, DispersedSubnetReportedAtPrefixLevel) {
+  // 50 hosts of 30 each inside 10.0.0.0/24: none is a /32 HHH at threshold
+  // 100, but the /24 aggregates 1500 and is.
+  FlowTable<IPv4Key> table;
+  for (uint32_t h = 0; h < 50; ++h) table[IPv4Key(0x0a000000 | h)] = 30;
+  const auto hhh = DiscountedHhh(table, {32, 24, 16, 8, 0}, 100);
+  ASSERT_GE(hhh.size(), 1u);
+  EXPECT_EQ(hhh[0].bits, 24);
+  EXPECT_EQ(hhh[0].discounted_count, 1500u);
+  // The /16, /8 and root see the same 1500, all discounted away.
+  for (const auto& e : hhh) EXPECT_EQ(e.bits, 24);
+}
+
+TEST(DiscountedHhh, AncestorReportedOnlyForResidualTraffic) {
+  // Heavy host 10.0.0.1 (500) plus 90 dispersed mice (10 each) in the same
+  // /24: the host is an HHH; the /24's residual is 900, also an HHH; the
+  // /16's residual is 0 after discounting the /24.
+  FlowTable<IPv4Key> table;
+  table[IPv4Key(0x0a000001)] = 500;
+  for (uint32_t h = 2; h < 92; ++h) table[IPv4Key(0x0a000000 | h)] = 10;
+  const auto hhh = DiscountedHhh(table, {32, 24, 16, 0}, 200);
+  ASSERT_EQ(hhh.size(), 2u);
+  EXPECT_EQ(hhh[0].bits, 32);
+  EXPECT_EQ(hhh[0].discounted_count, 500u);
+  EXPECT_EQ(hhh[1].bits, 24);
+  EXPECT_EQ(hhh[1].discounted_count, 900u);  // 1400 - 500 discounted
+  EXPECT_EQ(hhh[1].raw_count, 1400u);
+}
+
+TEST(DiscountedHhh, DisjointSubtreesBothReported) {
+  FlowTable<IPv4Key> table;
+  table[IPv4Key(0x0a000001)] = 300;  // 10.0.0.1
+  table[IPv4Key(0x14000001)] = 400;  // 20.0.0.1
+  const auto hhh = DiscountedHhh(table, {32, 0}, 100);
+  ASSERT_EQ(hhh.size(), 2u);
+  EXPECT_EQ(hhh[0].bits, 32);
+  EXPECT_EQ(hhh[1].bits, 32);
+}
+
+TEST(DiscountedHhh, RootCatchesDispersedRemainder) {
+  // 300 scattered hosts of 1 each: nothing heavy anywhere except the root
+  // (empty prefix), which aggregates all 300.
+  FlowTable<IPv4Key> table;
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    table[IPv4Key(static_cast<uint32_t>(rng.Next()))] = 1;
+  }
+  const auto hhh = DiscountedHhh(table, {32, 16, 0}, 250);
+  ASSERT_EQ(hhh.size(), 1u);
+  EXPECT_EQ(hhh[0].bits, 0);
+  EXPECT_GE(hhh[0].discounted_count, 250u);
+}
+
+TEST(DiscountedHhh, EndToEndFromDecodedSketch) {
+  // Drive the evaluator from a decoded CocoSketch: a planted dispersed /16
+  // (the DDoS pattern) must surface as a 16-bit HHH.
+  const auto background =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(200'000));
+  core::CocoSketch<IPv4Key> sketch(KiB(500), 2);
+  Rng rng(9);
+  for (const Packet& p : background) {
+    sketch.Update(IPv4Key(p.key.src_ip()), p.weight);
+  }
+  for (int i = 0; i < 50'000; ++i) {
+    sketch.Update(
+        IPv4Key(0xcb000000 | static_cast<uint32_t>(rng.NextBelow(65536))), 1);
+  }
+  const auto hhh =
+      DiscountedHhh(sketch.Decode(), {32, 24, 16, 8, 0}, 25'000);
+  bool found_attack_net = false;
+  for (const auto& e : hhh) {
+    if (e.bits == 16 && e.prefix.data()[0] == 0xcb && e.prefix.data()[1] == 0) {
+      found_attack_net = true;
+      EXPECT_GT(e.discounted_count, 40'000u);
+    }
+  }
+  EXPECT_TRUE(found_attack_net);
+}
+
+}  // namespace
+}  // namespace coco::query

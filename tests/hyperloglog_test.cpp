@@ -1,0 +1,84 @@
+// Tests for the HyperLogLog substrate.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "packet/keys.h"
+#include "sketch/hyperloglog.h"
+
+namespace coco::sketch {
+namespace {
+
+TEST(HyperLogLog, EmptyEstimatesZero) {
+  HyperLogLog hll(10);
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 0.0);
+}
+
+TEST(HyperLogLog, DuplicatesDoNotGrow) {
+  HyperLogLog hll(10);
+  for (int i = 0; i < 10000; ++i) hll.AddKey(IPv4Key(42));
+  EXPECT_NEAR(hll.Estimate(), 1.0, 0.01);
+}
+
+TEST(HyperLogLog, SmallCardinalityViaLinearCounting) {
+  HyperLogLog hll(10);
+  for (uint32_t i = 0; i < 50; ++i) hll.AddKey(IPv4Key(i));
+  EXPECT_NEAR(hll.Estimate(), 50.0, 5.0);
+}
+
+TEST(HyperLogLog, AccuracyAtTenThousand) {
+  // Standard error ~1.04/sqrt(1024) ~ 3.3%; allow 4 sigma.
+  HyperLogLog hll(10);
+  for (uint32_t i = 0; i < 10000; ++i) hll.AddKey(IPv4Key(i * 2654435761u));
+  EXPECT_NEAR(hll.Estimate(), 10000.0, 0.13 * 10000.0);
+}
+
+TEST(HyperLogLog, PrecisionImprovesAccuracy) {
+  // Averaged over several disjoint populations, higher precision gives a
+  // smaller mean relative error.
+  auto mean_error = [](uint8_t bits) {
+    double total = 0;
+    for (int trial = 0; trial < 5; ++trial) {
+      HyperLogLog hll(bits, 0x411 + trial);
+      for (uint32_t i = 0; i < 20000; ++i) {
+        hll.AddKey(IPv4Key(i * 2654435761u + trial * 77));
+      }
+      total += std::abs(hll.Estimate() - 20000.0) / 20000.0;
+    }
+    return total / 5;
+  };
+  EXPECT_LT(mean_error(12), mean_error(6) + 0.01);
+}
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a(10), b(10), u(10);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    a.AddKey(IPv4Key(i));
+    u.AddKey(IPv4Key(i));
+  }
+  for (uint32_t i = 2500; i < 7500; ++i) {
+    b.AddKey(IPv4Key(i));
+    u.AddKey(IPv4Key(i));
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(HyperLogLog, MergeRejectsMismatchedGeometry) {
+  HyperLogLog a(10), b(12);
+  EXPECT_DEATH(a.Merge(b), "incompatible");
+}
+
+TEST(HyperLogLog, ClearResets) {
+  HyperLogLog hll(8);
+  for (uint32_t i = 0; i < 100; ++i) hll.AddKey(IPv4Key(i));
+  hll.Clear();
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 0.0);
+}
+
+TEST(HyperLogLog, MemoryIsRegisterCount) {
+  EXPECT_EQ(HyperLogLog(10).MemoryBytes(), 1024u);
+  EXPECT_EQ(HyperLogLog(4).MemoryBytes(), 16u);
+}
+
+}  // namespace
+}  // namespace coco::sketch

@@ -1,0 +1,200 @@
+// End-to-end integration tests: the full measure -> decode -> aggregate ->
+// score pipelines for all three tasks, plus a CocoSketch-vs-baseline sanity
+// check mirroring the headline comparison of §7.2.
+#include <gtest/gtest.h>
+
+#include "common/sizes.h"
+#include "core/cocosketch.h"
+#include "core/hw_cocosketch.h"
+#include "keys/key_spec.h"
+#include "metrics/accuracy.h"
+#include "query/evaluation.h"
+#include "sketch/count_min.h"
+#include "sketch/rhhh.h"
+#include "sketch/uss.h"
+#include "trace/generators.h"
+#include "trace/ground_truth.h"
+
+namespace coco {
+namespace {
+
+using keys::PrefixSpec;
+using keys::TupleKeySpec;
+
+class HeavyHitterEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_ = trace::GenerateTrace(trace::TraceConfig::CaidaLike(200000));
+    truth_ = trace::CountTrace(trace_);
+    specs_ = TupleKeySpec::DefaultSix();
+  }
+
+  std::vector<Packet> trace_;
+  trace::ExactCounter<FiveTuple> truth_;
+  std::vector<TupleKeySpec> specs_;
+};
+
+TEST_F(HeavyHitterEndToEnd, CocoHighF1OnAllSixKeys) {
+  core::CocoSketch<FiveTuple> coco(KiB(500), 2);
+  for (const Packet& p : trace_) coco.Update(p.key, p.weight);
+  const auto scores = query::ScoreHeavyHittersPerKey(coco.Decode(), truth_,
+                                                     specs_, 1e-4);
+  ASSERT_EQ(scores.size(), 6u);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_GT(scores[i].f1, 0.90) << specs_[i].name();
+    EXPECT_LT(scores[i].are, 0.12) << specs_[i].name();
+  }
+}
+
+TEST_F(HeavyHitterEndToEnd, CocoBeatsPerKeyCountMinAtSixKeys) {
+  // Baseline: one CM-Heap per key sharing the same 500KB total.
+  core::CocoSketch<FiveTuple> coco(KiB(500), 2);
+  for (const Packet& p : trace_) coco.Update(p.key, p.weight);
+  const auto coco_scores = query::ScoreHeavyHittersPerKey(
+      coco.Decode(), truth_, specs_, 1e-4);
+
+  const size_t per_key = KiB(500) / specs_.size();
+  const uint64_t threshold = truth_.Total() / 10000;
+  std::vector<metrics::Accuracy> cm_scores;
+  for (const auto& spec : specs_) {
+    sketch::CmHeap<DynKey> cm(per_key, 512);
+    for (const Packet& p : trace_) cm.Update(spec.Apply(p.key), p.weight);
+    const auto exact = truth_.Aggregate(spec);
+    cm_scores.push_back(
+        metrics::ScoreThreshold(cm.Decode(), exact.counts(), threshold));
+  }
+
+  const auto coco_mean = metrics::MeanAccuracy(coco_scores);
+  const auto cm_mean = metrics::MeanAccuracy(cm_scores);
+  EXPECT_GT(coco_mean.f1, cm_mean.f1);
+  EXPECT_LT(coco_mean.are, cm_mean.are);
+}
+
+TEST_F(HeavyHitterEndToEnd, HwVariantWithinTenPercentOfBasic) {
+  // §7.5: removing circular dependencies costs <10% F1.
+  core::CocoSketch<FiveTuple> basic(KiB(500), 2);
+  core::HwCocoSketch<FiveTuple> hw(KiB(500), 2);
+  for (const Packet& p : trace_) {
+    basic.Update(p.key, p.weight);
+    hw.Update(p.key, p.weight);
+  }
+  const auto basic_mean = metrics::MeanAccuracy(
+      query::ScoreHeavyHittersPerKey(basic.Decode(), truth_, specs_, 1e-4));
+  const auto hw_mean = metrics::MeanAccuracy(
+      query::ScoreHeavyHittersPerKey(hw.Decode(), truth_, specs_, 1e-4));
+  EXPECT_GT(hw_mean.f1, basic_mean.f1 - 0.10);
+}
+
+TEST(HeavyChangeEndToEnd, CocoDetectsChanges) {
+  const auto pair =
+      trace::GenerateChurnPair(trace::TraceConfig::CaidaLike(150000), 0.4);
+  const auto truth_before = trace::CountTrace(pair.before);
+  const auto truth_after = trace::CountTrace(pair.after);
+  const auto specs = TupleKeySpec::DefaultSix();
+
+  core::CocoSketch<FiveTuple> before(KiB(500), 2), after(KiB(500), 2);
+  for (const Packet& p : pair.before) before.Update(p.key, p.weight);
+  for (const Packet& p : pair.after) after.Update(p.key, p.weight);
+
+  const auto scores = query::ScoreHeavyChangesPerKey(
+      before.Decode(), after.Decode(), truth_before, truth_after, specs,
+      1e-3);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_GT(scores[i].f1, 0.75) << specs[i].name();
+  }
+}
+
+TEST(HhhEndToEnd, CocoFarMoreAccurateThanRhhh) {
+  // 1-d HHH over the SrcIP hierarchy (Fig. 11's shape): CocoSketch with one
+  // sketch vs R-HHH with 33 level sketches at equal memory.
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(150000));
+  trace::ExactCounter<IPv4Key> truth;
+  for (const Packet& p : trace) truth.Add(IPv4Key(p.key.src_ip()), p.weight);
+  const auto levels = PrefixSpec::Hierarchy();
+  const uint64_t threshold = truth.Total() / 1000;
+  const size_t mem = KiB(500);
+
+  core::CocoSketch<IPv4Key> coco(mem, 2);
+  sketch::RHhh<IPv4Key, PrefixSpec> rhhh(mem, levels);
+  for (const Packet& p : trace) {
+    coco.Update(IPv4Key(p.key.src_ip()), p.weight);
+    rhhh.Update(IPv4Key(p.key.src_ip()), p.weight);
+  }
+
+  const auto coco_table = coco.Decode();
+  std::vector<metrics::Accuracy> coco_scores, rhhh_scores;
+  for (size_t level = 0; level < levels.size(); ++level) {
+    const auto exact = truth.Aggregate(levels[level]);
+    coco_scores.push_back(metrics::ScoreThreshold(
+        query::Aggregate(coco_table, levels[level]), exact.counts(),
+        threshold));
+    rhhh_scores.push_back(metrics::ScoreThreshold(
+        rhhh.DecodeLevel(level), exact.counts(), threshold));
+  }
+  const auto coco_mean = metrics::MeanAccuracy(coco_scores);
+  const auto rhhh_mean = metrics::MeanAccuracy(rhhh_scores);
+  EXPECT_GT(coco_mean.f1, 0.95);
+  EXPECT_GT(coco_mean.f1, rhhh_mean.f1);
+  EXPECT_LT(coco_mean.are, rhhh_mean.are);
+}
+
+TEST(ByteModeEndToEnd, HeavyChangeByBytes) {
+  // Byte-weighted two-epoch change detection: the full pipeline must work
+  // identically when weights are wire sizes instead of packet counts.
+  trace::TraceConfig config = trace::TraceConfig::CaidaLike(100000);
+  config.weight_mode = trace::WeightMode::kBytes;
+  const auto pair = trace::GenerateChurnPair(config, 0.4);
+  const auto truth_before = trace::CountTrace(pair.before);
+  const auto truth_after = trace::CountTrace(pair.after);
+  const auto specs = TupleKeySpec::DefaultSix();
+
+  core::CocoSketch<FiveTuple> before(KiB(500), 2, 1), after(KiB(500), 2, 2);
+  for (const Packet& p : pair.before) before.Update(p.key, p.weight);
+  for (const Packet& p : pair.after) after.Update(p.key, p.weight);
+
+  const auto scores = query::ScoreHeavyChangesPerKey(
+      before.Decode(), after.Decode(), truth_before, truth_after, specs,
+      1e-3);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_GT(scores[i].f1, 0.7) << specs[i].name();
+  }
+}
+
+TEST(MawiEndToEnd, CocoHoldsOnFlatterTail) {
+  // Fig. 13's point as an assertion: the flatter MAWI-like tail does not
+  // break CocoSketch's multi-key accuracy.
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::MawiLike(200000));
+  const auto truth = trace::CountTrace(trace);
+  core::CocoSketch<FiveTuple> coco(KiB(500), 2);
+  for (const Packet& p : trace) coco.Update(p.key, p.weight);
+  const auto mean = metrics::MeanAccuracy(query::ScoreHeavyHittersPerKey(
+      coco.Decode(), truth, TupleKeySpec::DefaultSix(), 1e-4));
+  EXPECT_GT(mean.f1, 0.9);
+}
+
+TEST(UssComparisonEndToEnd, CocoMatchesUssAccuracyClosely) {
+  // §3.2: CocoSketch trades <3% F1 for ~100x throughput vs USS. Check the
+  // accuracy side: at equal memory (where USS pays its 4x auxiliary
+  // overhead), Coco's F1 is at least USS's minus 3%.
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(150000));
+  const auto truth = trace::CountTrace(trace);
+  const auto specs = TupleKeySpec::DefaultSix();
+
+  core::CocoSketch<FiveTuple> coco(KiB(400), 2);
+  sketch::UnbiasedSpaceSaving<FiveTuple> uss(KiB(400));
+  for (const Packet& p : trace) {
+    coco.Update(p.key, p.weight);
+    uss.Update(p.key, p.weight);
+  }
+  const auto coco_mean = metrics::MeanAccuracy(
+      query::ScoreHeavyHittersPerKey(coco.Decode(), truth, specs, 1e-4));
+  const auto uss_mean = metrics::MeanAccuracy(
+      query::ScoreHeavyHittersPerKey(uss.Decode(), truth, specs, 1e-4));
+  EXPECT_GT(coco_mean.f1, uss_mean.f1 - 0.03);
+}
+
+}  // namespace
+}  // namespace coco

@@ -1,0 +1,71 @@
+// Tests for the performance-measurement utilities themselves (they drive
+// Fig. 14, so their semantics deserve coverage too).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "metrics/perf.h"
+#include "trace/generators.h"
+
+namespace coco::metrics {
+namespace {
+
+std::vector<Packet> SmallTrace() {
+  return trace::GenerateTrace(trace::TraceConfig::CaidaLike(5000));
+}
+
+TEST(MeasureThroughput, CallsResetBeforeEachTrialAndCountsAllPackets) {
+  const auto trace = SmallTrace();
+  int resets = 0;
+  size_t updates = 0;
+  const double mpps = MeasureThroughput(
+      trace, [&](const Packet&) { ++updates; }, [&] { ++resets; }, 3);
+  EXPECT_EQ(resets, 3);
+  EXPECT_EQ(updates, 3 * trace.size());
+  EXPECT_GT(mpps, 0.0);
+}
+
+TEST(MeasureThroughput, ReportsMedianOfTrials) {
+  // A deliberately bimodal workload: one slow trial (sleep) among fast ones;
+  // the median must not be dragged toward the slow outlier's rate.
+  const auto trace = SmallTrace();
+  int trial = 0;
+  const double mpps = MeasureThroughput(
+      trace,
+      [&](const Packet&) {
+        // no-op updates
+      },
+      [&] {
+        if (++trial == 1) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(0));
+        }
+      },
+      5);
+  EXPECT_GT(mpps, 0.0);
+}
+
+TEST(MeasureCycles, PercentilesOrdered) {
+  const auto trace = SmallTrace();
+  PerfResult result;
+  MeasureCycles(
+      trace, [](const Packet&) {}, [] {}, &result);
+  EXPECT_GT(result.p95_cycles, 0u);
+  EXPECT_LE(result.p50_cycles, result.p95_cycles);
+}
+
+TEST(MeasurePerf, SlowUpdateShowsInCycles) {
+  const auto trace = SmallTrace();
+  PerfResult fast = MeasurePerf(trace, [](const Packet&) {}, [] {}, 1);
+  volatile uint64_t sink = 0;
+  PerfResult slow = MeasurePerf(
+      trace,
+      [&](const Packet&) {
+        for (int i = 0; i < 200; ++i) sink = sink + 1;
+      },
+      [] {}, 1);
+  EXPECT_GT(slow.p50_cycles, fast.p50_cycles);
+  EXPECT_LT(slow.mpps, fast.mpps);
+}
+
+}  // namespace
+}  // namespace coco::metrics

@@ -1,0 +1,86 @@
+// Tests for R-HHH: level sampling, estimate scaling, and hierarchy recall.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/sizes.h"
+#include "keys/key_spec.h"
+#include "packet/keys.h"
+#include "sketch/rhhh.h"
+#include "trace/ground_truth.h"
+
+namespace coco::sketch {
+namespace {
+
+using keys::PrefixSpec;
+
+TEST(Rhhh, LevelsMatchHierarchy) {
+  RHhh<IPv4Key, PrefixSpec> rhhh(MiB(4), PrefixSpec::Hierarchy());
+  EXPECT_EQ(rhhh.num_levels(), 33u);
+  EXPECT_LE(rhhh.MemoryBytes(), MiB(4) + MiB(1));
+}
+
+TEST(Rhhh, EstimatesScaledByLevels) {
+  // A single dominant flow: its estimate at any level should be close to its
+  // true size despite each level seeing only ~1/V of the packets.
+  std::vector<PrefixSpec> levels = {PrefixSpec(32), PrefixSpec(16),
+                                    PrefixSpec(8), PrefixSpec(0)};
+  RHhh<IPv4Key, PrefixSpec> rhhh(MiB(1), levels, 7);
+  const IPv4Key flow(0x0a0b0c0d);
+  const uint64_t n = 40000;
+  for (uint64_t i = 0; i < n; ++i) rhhh.Update(flow, 1);
+
+  for (size_t level = 0; level < levels.size(); ++level) {
+    const DynKey key = levels[level].Apply(flow);
+    const uint64_t est = rhhh.QueryLevel(level, key);
+    // Sampling noise: each level sees Binomial(n, 1/4) packets, scaled by 4.
+    EXPECT_NEAR(static_cast<double>(est), static_cast<double>(n),
+                0.15 * static_cast<double>(n))
+        << "level " << level;
+  }
+}
+
+TEST(Rhhh, DecodeLevelScales) {
+  std::vector<PrefixSpec> levels = {PrefixSpec(32), PrefixSpec(0)};
+  RHhh<IPv4Key, PrefixSpec> rhhh(KiB(512), levels, 11);
+  for (int i = 0; i < 10000; ++i) rhhh.Update(IPv4Key(42), 1);
+  const auto level0 = rhhh.DecodeLevel(0);
+  ASSERT_FALSE(level0.empty());
+  uint64_t total = 0;
+  for (const auto& [key, est] : level0) total += est;
+  EXPECT_NEAR(static_cast<double>(total), 10000.0, 2500.0);
+}
+
+TEST(Rhhh, FindsPrefixHeavyHitters) {
+  // Concentrate traffic in one /16: the level querying 16-bit prefixes must
+  // report it.
+  std::vector<PrefixSpec> levels = {PrefixSpec(32), PrefixSpec(16),
+                                    PrefixSpec(0)};
+  RHhh<IPv4Key, PrefixSpec> rhhh(MiB(1), levels, 13);
+  Rng rng(5);
+  trace::ExactCounter<IPv4Key> truth;
+  for (int i = 0; i < 60000; ++i) {
+    // 60% of traffic inside 10.1.0.0/16 spread over many hosts.
+    const uint32_t addr =
+        rng.Bernoulli(0.6)
+            ? (0x0a010000u | static_cast<uint32_t>(rng.NextBelow(65536)))
+            : static_cast<uint32_t>(rng.Next());
+    rhhh.Update(IPv4Key(addr), 1);
+    truth.Add(IPv4Key(addr), 1);
+  }
+  const DynKey prefix = PrefixSpec(16).Apply(IPv4Key(0x0a010000));
+  const uint64_t est = rhhh.QueryLevel(1, prefix);
+  const uint64_t exact = truth.Aggregate(PrefixSpec(16)).Count(prefix);
+  EXPECT_NEAR(static_cast<double>(est), static_cast<double>(exact),
+              0.25 * static_cast<double>(exact));
+}
+
+TEST(Rhhh, ClearResets) {
+  std::vector<PrefixSpec> levels = {PrefixSpec(32), PrefixSpec(0)};
+  RHhh<IPv4Key, PrefixSpec> rhhh(KiB(256), levels);
+  for (int i = 0; i < 1000; ++i) rhhh.Update(IPv4Key(1), 1);
+  rhhh.Clear();
+  EXPECT_EQ(rhhh.QueryLevel(0, PrefixSpec(32).Apply(IPv4Key(1))), 0u);
+}
+
+}  // namespace
+}  // namespace coco::sketch

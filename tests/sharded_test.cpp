@@ -1,0 +1,96 @@
+// Tests for the sharded multicore wrapper, including a real multi-threaded
+// run under the one-writer-per-shard contract.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/sizes.h"
+#include "core/sharded_cocosketch.h"
+#include "trace/generators.h"
+#include "trace/ground_truth.h"
+
+namespace coco::core {
+namespace {
+
+TEST(Sharded, MergedMassEqualsStreamMass) {
+  ShardedCocoSketch<FiveTuple> sharded(KiB(256), 4);
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(60000));
+  uint64_t mass = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    sharded.shard(i % 4).Update(trace[i].key, trace[i].weight);
+    mass += trace[i].weight;
+  }
+  EXPECT_EQ(sharded.TotalValue(), mass);
+  uint64_t decoded_mass = 0;
+  for (const auto& [key, size] : sharded.Decode()) decoded_mass += size;
+  EXPECT_EQ(decoded_mass, mass);
+}
+
+TEST(Sharded, FlowAffinityRoutingIsStable) {
+  ShardedCocoSketch<FiveTuple> sharded(KiB(64), 3);
+  const FiveTuple flow(1, 2, 3, 4, 5);
+  const size_t s = sharded.ShardOf(flow);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sharded.ShardOf(flow), s);
+  EXPECT_LT(s, 3u);
+}
+
+TEST(Sharded, FlowAffinityKeepsFlowWhole) {
+  // Routing by flow hash: each flow's entire mass sits in one shard, so the
+  // merged estimate of a tracked flow equals the single-shard estimate.
+  ShardedCocoSketch<FiveTuple> sharded(KiB(512), 4);
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(60000));
+  for (const Packet& p : trace) {
+    sharded.shard(sharded.ShardOf(p.key)).Update(p.key, p.weight);
+  }
+  const auto truth = trace::CountTrace(trace);
+  const auto merged = sharded.Decode();
+  const uint64_t threshold = truth.Total() / 1000;
+  size_t heavy = 0, found = 0;
+  for (const auto& [key, count] : truth.HeavyHitters(threshold)) {
+    ++heavy;
+    auto it = merged.find(key);
+    found += (it != merged.end() && it->second >= threshold);
+  }
+  ASSERT_GT(heavy, 0u);
+  EXPECT_GT(static_cast<double>(found) / heavy, 0.9);
+}
+
+TEST(Sharded, ConcurrentWritersOneShardEach) {
+  constexpr size_t kThreads = 4;
+  ShardedCocoSketch<FiveTuple> sharded(KiB(512), kThreads);
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(80000));
+
+  std::vector<std::thread> workers;
+  for (size_t w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (size_t i = w; i < trace.size(); i += kThreads) {
+        sharded.shard(w).Update(trace[i].key, trace[i].weight);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  EXPECT_EQ(sharded.TotalValue(), trace.size());  // unit weights
+  EXPECT_FALSE(sharded.Decode().empty());
+}
+
+TEST(Sharded, ClearResetsAllShards) {
+  ShardedCocoSketch<FiveTuple> sharded(KiB(64), 2);
+  sharded.shard(0).Update(FiveTuple(1, 2, 3, 4, 5), 10);
+  sharded.shard(1).Update(FiveTuple(5, 4, 3, 2, 1), 10);
+  sharded.Clear();
+  EXPECT_EQ(sharded.TotalValue(), 0u);
+  EXPECT_TRUE(sharded.Decode().empty());
+}
+
+TEST(Sharded, MemorySplitsEvenly) {
+  ShardedCocoSketch<FiveTuple> sharded(KiB(400), 4);
+  EXPECT_LE(sharded.MemoryBytes(), KiB(400));
+  EXPECT_GT(sharded.MemoryBytes(), KiB(380));
+}
+
+}  // namespace
+}  // namespace coco::core

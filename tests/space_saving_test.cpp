@@ -1,0 +1,111 @@
+// Tests for SpaceSaving: the classic error bound, top-k retention, and
+// total-mass conservation.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/sizes.h"
+#include "packet/keys.h"
+#include "sketch/space_saving.h"
+#include "trace/generators.h"
+#include "trace/ground_truth.h"
+
+namespace coco::sketch {
+namespace {
+
+TEST(SpaceSaving, ExactWhenNotFull) {
+  SpaceSaving<IPv4Key> ss(KiB(64));
+  for (int i = 0; i < 100; ++i) {
+    ss.Update(IPv4Key(static_cast<uint32_t>(i % 10)), 1);
+  }
+  for (uint32_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(ss.Query(IPv4Key(k)), 10u);
+  }
+}
+
+TEST(SpaceSaving, TotalMassConserved) {
+  // Every packet's weight goes into exactly one counter, so the sum of all
+  // counters equals the stream mass regardless of replacements.
+  SpaceSaving<IPv4Key> ss(KiB(2));
+  Rng rng(1);
+  uint64_t mass = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const uint32_t w = 1 + static_cast<uint32_t>(rng.NextBelow(4));
+    ss.Update(IPv4Key(static_cast<uint32_t>(rng.NextBelow(10000))), w);
+    mass += w;
+  }
+  uint64_t sum = 0;
+  for (const auto& [key, count] : ss.Decode()) sum += count;
+  EXPECT_EQ(sum, mass);
+}
+
+TEST(SpaceSaving, OverestimateOnly) {
+  // SS estimates only ever exceed the true count (for tracked keys).
+  SpaceSaving<IPv4Key> ss(KiB(2));
+  Rng rng(2);
+  std::unordered_map<uint32_t, uint64_t> exact;
+  for (int i = 0; i < 50000; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBelow(5000));
+    ss.Update(IPv4Key(key), 1);
+    ++exact[key];
+  }
+  for (const auto& [key, est] : ss.Decode()) {
+    EXPECT_GE(est, exact[key.addr()]);
+  }
+}
+
+TEST(SpaceSaving, ErrorBoundedByNOverCapacity) {
+  // Classic SS guarantee: min counter (and hence any overestimate)
+  // <= N / capacity.
+  SpaceSaving<IPv4Key> ss(KiB(4));
+  const size_t capacity = ss.capacity();
+  Rng rng(3);
+  std::unordered_map<uint32_t, uint64_t> exact;
+  const uint64_t n = 200000;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBelow(8000));
+    ss.Update(IPv4Key(key), 1);
+    ++exact[key];
+  }
+  const uint64_t bound = n / capacity;
+  for (const auto& [key, est] : ss.Decode()) {
+    EXPECT_LE(est - exact[key.addr()], bound);
+  }
+}
+
+TEST(SpaceSaving, RetainsHeavyHitters) {
+  trace::TraceConfig config = trace::TraceConfig::CaidaLike(100000);
+  const auto trace = trace::GenerateTrace(config);
+  const auto truth = trace::CountTrace(trace);
+
+  SpaceSaving<FiveTuple> ss(KiB(128));
+  for (const Packet& p : trace) ss.Update(p.key, p.weight);
+
+  const uint64_t threshold = truth.Total() / 1000;
+  const auto decoded = ss.Decode();
+  size_t heavy = 0, found = 0;
+  for (const auto& [key, count] : truth.HeavyHitters(threshold)) {
+    ++heavy;
+    found += decoded.count(key);
+  }
+  ASSERT_GT(heavy, 0u);
+  EXPECT_GT(static_cast<double>(found) / heavy, 0.95);
+}
+
+TEST(SpaceSaving, ClearResets) {
+  SpaceSaving<IPv4Key> ss(KiB(2));
+  ss.Update(IPv4Key(1), 5);
+  ss.Clear();
+  EXPECT_EQ(ss.Query(IPv4Key(1)), 0u);
+  EXPECT_TRUE(ss.Decode().empty());
+}
+
+TEST(SpaceSaving, MemoryAccountingChargesAuxiliaries) {
+  SpaceSaving<FiveTuple> ss(KiB(100));
+  // Entry cost must include node + bucket + index, i.e. much more than the
+  // bare 21 bytes of key+count.
+  EXPECT_LT(ss.capacity(), KiB(100) / 21);
+  EXPECT_LE(ss.MemoryBytes(), KiB(100));
+}
+
+}  // namespace
+}  // namespace coco::sketch

@@ -1,0 +1,195 @@
+// Tests for the SQL front-end: tokenizer/parser acceptance and rejection,
+// executor semantics (aggregation, HAVING, ORDER BY, LIMIT), and row
+// rendering — including the Fig. 7 worked example expressed in SQL.
+#include <gtest/gtest.h>
+
+#include "query/sql.h"
+
+namespace coco::query::sql {
+namespace {
+
+FlowTable<FiveTuple> Fig7Table() {
+  FlowTable<FiveTuple> table;
+  auto row = [](uint32_t ip, uint16_t port) {
+    return FiveTuple(ip, 0, port, 0, 0);
+  };
+  const uint32_t ip_a = (19u << 24) | (98u << 16) | (10u << 8) | 26;
+  const uint32_t ip_b = (34u << 24) | (52u << 16) | (73u << 8) | 13;
+  const uint32_t ip_c = (34u << 24) | (52u << 16) | (73u << 8) | 17;
+  table[row(ip_a, 80)] = 521;
+  table[row(ip_a, 8080)] = 520;
+  table[row(ip_b, 80)] = 305;
+  table[row(ip_b, 123)] = 463;
+  table[row(ip_c, 118)] = 856;
+  return table;
+}
+
+TEST(SqlParse, AcceptsMinimalQuery) {
+  std::string error;
+  const auto stmt = Parse("SELECT SrcIP, SUM(Size) FROM t GROUP BY SrcIP",
+                          &error);
+  ASSERT_TRUE(stmt.has_value()) << error;
+  EXPECT_EQ(stmt->fields.size(), 1u);
+  EXPECT_EQ(stmt->fields[0].field, keys::Field::kSrcIp);
+  EXPECT_EQ(stmt->fields[0].prefix_bits, 32);
+  EXPECT_EQ(stmt->table_name, "T");
+  EXPECT_FALSE(stmt->having_at_least.has_value());
+}
+
+TEST(SqlParse, AcceptsFullClause) {
+  std::string error;
+  const auto stmt = Parse(
+      "select SrcIP/24, DstPort, sum(size) from flows "
+      "group by SrcIP/24, DstPort having sum(size) >= 100 "
+      "order by sum(size) desc limit 5",
+      &error);
+  ASSERT_TRUE(stmt.has_value()) << error;
+  EXPECT_EQ(stmt->fields.size(), 2u);
+  EXPECT_EQ(stmt->fields[0].prefix_bits, 24);
+  EXPECT_EQ(stmt->fields[1].field, keys::Field::kDstPort);
+  EXPECT_EQ(stmt->having_at_least, 100u);
+  EXPECT_TRUE(stmt->order_by_size_desc);
+  EXPECT_EQ(stmt->limit, 5u);
+}
+
+TEST(SqlParse, RejectsMismatchedGroupBy) {
+  std::string error;
+  EXPECT_FALSE(
+      Parse("SELECT SrcIP, SUM(Size) FROM t GROUP BY DstIP", &error));
+  EXPECT_NE(error.find("must match"), std::string::npos);
+}
+
+TEST(SqlParse, RejectsUnknownField) {
+  std::string error;
+  EXPECT_FALSE(Parse("SELECT Bogus, SUM(Size) FROM t GROUP BY Bogus",
+                     &error));
+  EXPECT_NE(error.find("unknown field"), std::string::npos);
+}
+
+TEST(SqlParse, RejectsPrefixOnPort) {
+  std::string error;
+  EXPECT_FALSE(Parse(
+      "SELECT SrcPort/8, SUM(Size) FROM t GROUP BY SrcPort/8", &error));
+  EXPECT_NE(error.find("IP fields"), std::string::npos);
+}
+
+TEST(SqlParse, RejectsOversizedPrefix) {
+  std::string error;
+  EXPECT_FALSE(
+      Parse("SELECT SrcIP/40, SUM(Size) FROM t GROUP BY SrcIP/40", &error));
+  EXPECT_NE(error.find("exceeds"), std::string::npos);
+}
+
+TEST(SqlParse, RejectsMissingSum) {
+  std::string error;
+  EXPECT_FALSE(Parse("SELECT SrcIP FROM t GROUP BY SrcIP", &error));
+}
+
+TEST(SqlParse, RejectsTrailingGarbage) {
+  std::string error;
+  EXPECT_FALSE(Parse(
+      "SELECT SrcIP, SUM(Size) FROM t GROUP BY SrcIP EXTRA", &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(SqlParse, RejectsBadCharacter) {
+  std::string error;
+  EXPECT_FALSE(Parse("SELECT SrcIP; SUM(Size)", &error));
+  EXPECT_NE(error.find("unexpected character"), std::string::npos);
+}
+
+TEST(SqlExecute, Figure7InSql) {
+  // The paper's Fig. 7: full key (SrcIP, SrcPort), query partial key SrcIP.
+  std::string error;
+  const auto result = Query(
+      "SELECT SrcIP, SUM(Size) FROM flows GROUP BY SrcIP "
+      "ORDER BY SUM(Size) DESC",
+      Fig7Table(), &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0].field_text[0], "19.98.10.26");
+  EXPECT_EQ(result->rows[0].size, 1041u);  // 521 + 520
+  EXPECT_EQ(result->rows[1].field_text[0], "34.52.73.17");
+  EXPECT_EQ(result->rows[1].size, 856u);
+  EXPECT_EQ(result->rows[2].field_text[0], "34.52.73.13");
+  EXPECT_EQ(result->rows[2].size, 768u);  // 305 + 463
+}
+
+TEST(SqlExecute, HavingFilters) {
+  std::string error;
+  const auto result = Query(
+      "SELECT SrcIP, SUM(Size) FROM flows GROUP BY SrcIP "
+      "HAVING SUM(Size) >= 800",
+      Fig7Table(), &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->rows.size(), 2u);  // 1041 and 856
+}
+
+TEST(SqlExecute, LimitTruncates) {
+  std::string error;
+  const auto result = Query(
+      "SELECT SrcIP, SUM(Size) FROM flows GROUP BY SrcIP "
+      "ORDER BY SUM(Size) DESC LIMIT 1",
+      Fig7Table(), &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].size, 1041u);
+}
+
+TEST(SqlExecute, PrefixAggregation) {
+  // Both 34.52.73.x sources share a /24.
+  std::string error;
+  const auto result = Query(
+      "SELECT SrcIP/24, SUM(Size) FROM flows GROUP BY SrcIP/24 "
+      "ORDER BY SUM(Size) DESC",
+      Fig7Table(), &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0].field_text[0], "34.52.73.0/24");
+  EXPECT_EQ(result->rows[0].size, 856u + 768u);
+  EXPECT_EQ(result->rows[1].field_text[0], "19.98.10.0/24");
+}
+
+TEST(SqlExecute, MultiFieldRendering) {
+  std::string error;
+  const auto result = Query(
+      "SELECT SrcIP, SrcPort, SUM(Size) FROM flows "
+      "GROUP BY SrcIP, SrcPort ORDER BY SUM(Size) DESC LIMIT 2",
+      Fig7Table(), &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  ASSERT_EQ(result->column_names.size(), 3u);
+  EXPECT_EQ(result->column_names[0], "SrcIP");
+  EXPECT_EQ(result->column_names[1], "SrcPort");
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0].field_text[0], "34.52.73.17");
+  EXPECT_EQ(result->rows[0].field_text[1], "118");
+}
+
+TEST(SqlExecute, TotalMassPreserved) {
+  std::string error;
+  const auto result = Query(
+      "SELECT Proto, SUM(Size) FROM flows GROUP BY Proto", Fig7Table(),
+      &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  uint64_t total = 0;
+  for (const auto& row : result->rows) total += row.size;
+  EXPECT_EQ(total, 521u + 520 + 305 + 463 + 856);
+}
+
+TEST(SqlFormat, ProducesAlignedTable) {
+  std::string error;
+  const auto result = Query(
+      "SELECT SrcIP, SUM(Size) FROM flows GROUP BY SrcIP "
+      "ORDER BY SUM(Size) DESC",
+      Fig7Table(), &error);
+  ASSERT_TRUE(result.has_value());
+  const std::string text = FormatResult(*result);
+  EXPECT_NE(text.find("SrcIP"), std::string::npos);
+  EXPECT_NE(text.find("SUM(Size)"), std::string::npos);
+  EXPECT_NE(text.find("1041"), std::string::npos);
+  // Header + 3 rows = 4 lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace coco::query::sql

@@ -1,0 +1,152 @@
+// Tests for the Stream-Summary bucket-list structure, including a randomized
+// invariant-checking property test.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "packet/keys.h"
+#include "sketch/stream_summary.h"
+
+namespace coco::sketch {
+namespace {
+
+TEST(StreamSummary, InsertAndFind) {
+  StreamSummary<IPv4Key> ss(4);
+  ss.InsertNew(IPv4Key(1), 5);
+  auto* node = ss.Find(IPv4Key(1));
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(ss.CountOf(node), 5u);
+  EXPECT_EQ(ss.Find(IPv4Key(2)), nullptr);
+}
+
+TEST(StreamSummary, MinTracksSmallestCount) {
+  StreamSummary<IPv4Key> ss(4);
+  ss.InsertNew(IPv4Key(1), 10);
+  ss.InsertNew(IPv4Key(2), 3);
+  ss.InsertNew(IPv4Key(3), 7);
+  EXPECT_EQ(ss.MinCount(), 3u);
+  EXPECT_EQ(ss.MinNode()->key, IPv4Key(2));
+}
+
+TEST(StreamSummary, IncrementMovesBetweenBuckets) {
+  StreamSummary<IPv4Key> ss(4);
+  ss.InsertNew(IPv4Key(1), 1);
+  ss.InsertNew(IPv4Key(2), 1);
+  auto* node = ss.Find(IPv4Key(1));
+  ss.Increment(node, 1);
+  EXPECT_EQ(ss.CountOf(node), 2u);
+  EXPECT_EQ(ss.MinCount(), 1u);  // key 2 still at 1
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+TEST(StreamSummary, SharedBucketSplitsCorrectly) {
+  StreamSummary<IPv4Key> ss(8);
+  for (uint32_t i = 0; i < 5; ++i) ss.InsertNew(IPv4Key(i), 4);
+  ss.Increment(ss.Find(IPv4Key(2)), 3);
+  EXPECT_EQ(ss.CountOf(ss.Find(IPv4Key(2))), 7u);
+  EXPECT_EQ(ss.MinCount(), 4u);
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+TEST(StreamSummary, WeightedIncrementSkipsBuckets) {
+  StreamSummary<IPv4Key> ss(8);
+  ss.InsertNew(IPv4Key(1), 1);
+  ss.InsertNew(IPv4Key(2), 5);
+  ss.InsertNew(IPv4Key(3), 9);
+  ss.Increment(ss.Find(IPv4Key(1)), 100);
+  EXPECT_EQ(ss.CountOf(ss.Find(IPv4Key(1))), 101u);
+  EXPECT_EQ(ss.MinCount(), 5u);
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+TEST(StreamSummary, RekeySwapsIdentity) {
+  StreamSummary<IPv4Key> ss(2);
+  ss.InsertNew(IPv4Key(1), 6);
+  auto* node = ss.Find(IPv4Key(1));
+  ss.Rekey(node, IPv4Key(99));
+  EXPECT_EQ(ss.Find(IPv4Key(1)), nullptr);
+  EXPECT_EQ(ss.Find(IPv4Key(99)), node);
+  EXPECT_EQ(ss.CountOf(node), 6u);
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+TEST(StreamSummary, FullAndCapacity) {
+  StreamSummary<IPv4Key> ss(2);
+  EXPECT_FALSE(ss.Full());
+  ss.InsertNew(IPv4Key(1), 1);
+  ss.InsertNew(IPv4Key(2), 1);
+  EXPECT_TRUE(ss.Full());
+  EXPECT_EQ(ss.size(), 2u);
+}
+
+TEST(StreamSummary, ForEachVisitsAllAscending) {
+  StreamSummary<IPv4Key> ss(4);
+  ss.InsertNew(IPv4Key(1), 30);
+  ss.InsertNew(IPv4Key(2), 10);
+  ss.InsertNew(IPv4Key(3), 20);
+  std::vector<uint64_t> counts;
+  ss.ForEach([&](const IPv4Key&, uint64_t c) { counts.push_back(c); });
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(counts.begin(), counts.end()));
+}
+
+TEST(StreamSummary, ClearThenReuse) {
+  StreamSummary<IPv4Key> ss(4);
+  ss.InsertNew(IPv4Key(1), 5);
+  ss.Clear();
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_EQ(ss.MinCount(), 0u);
+  ss.InsertNew(IPv4Key(2), 1);
+  EXPECT_EQ(ss.size(), 1u);
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+// Property test: random interleavings of insert / increment / rekey keep all
+// structural invariants and agree with a reference map.
+class StreamSummaryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamSummaryPropertyTest, InvariantsUnderRandomOps) {
+  const size_t capacity = 64;
+  StreamSummary<IPv4Key> ss(capacity);
+  std::unordered_map<uint32_t, uint64_t> reference;
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 20000; ++step) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBelow(300));
+    const uint32_t weight = 1 + static_cast<uint32_t>(rng.NextBelow(5));
+    auto* node = ss.Find(IPv4Key(key));
+    if (node != nullptr) {
+      ss.Increment(node, weight);
+      reference[key] += weight;
+    } else if (!ss.Full()) {
+      ss.InsertNew(IPv4Key(key), weight);
+      reference[key] = weight;
+    } else {
+      // SpaceSaving-style replacement: increment min then rekey.
+      auto* min = ss.MinNode();
+      const uint32_t old = min->key.addr();
+      ss.Increment(min, weight);
+      reference[key] = reference[old] + weight;
+      reference.erase(old);
+      ss.Rekey(min, IPv4Key(key));
+    }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(ss.CheckInvariants()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(ss.CheckInvariants());
+
+  // Counts must agree with the reference exactly.
+  const auto snapshot = ss.ToMap();
+  ASSERT_EQ(snapshot.size(), reference.size());
+  for (const auto& [key, count] : reference) {
+    auto it = snapshot.find(IPv4Key(key));
+    ASSERT_NE(it, snapshot.end()) << "missing key " << key;
+    EXPECT_EQ(it->second, count) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamSummaryPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 1234));
+
+}  // namespace
+}  // namespace coco::sketch

@@ -1,0 +1,222 @@
+// Tests for src/trace: Zipf weights, alias sampling, the workload
+// generators, churn, trace IO, and the exact ground-truth counter.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "trace/generators.h"
+#include "trace/ground_truth.h"
+#include "trace/trace_io.h"
+#include "trace/zipf.h"
+
+namespace coco::trace {
+namespace {
+
+TEST(ZipfWeights, MonotoneDecreasing) {
+  const auto w = ZipfWeights(100, 1.1);
+  ASSERT_EQ(w.size(), 100u);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(ZipfWeights, AlphaZeroIsUniform) {
+  const auto w = ZipfWeights(10, 0.0);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(AliasTable, MatchesTargetDistribution) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng(5);
+  std::vector<size_t> counts(4, 0);
+  const size_t n = 400000;
+  for (size_t i = 0; i < n; ++i) ++counts[table.Sample(rng)];
+  for (size_t i = 0; i < 4; ++i) {
+    const double expected = weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, expected, 0.005)
+        << "index " << i;
+  }
+}
+
+TEST(AliasTable, SingleElement) {
+  AliasTable table({3.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(table.Sample(rng), 1u);
+}
+
+TEST(AliasTable, HandlesExtremeSkew) {
+  std::vector<double> weights(1000, 1e-9);
+  weights[0] = 1.0;
+  AliasTable table(weights);
+  Rng rng(3);
+  size_t zero = 0;
+  for (int i = 0; i < 10000; ++i) zero += (table.Sample(rng) == 0);
+  EXPECT_GT(zero, 9900u);
+}
+
+TEST(FlowUniverse, GeneratesRequestedDistinctFlows) {
+  TraceConfig config = TraceConfig::CaidaLike(10000);
+  config.num_flows = 500;
+  FlowUniverse universe(config);
+  EXPECT_EQ(universe.flows().size(), 500u);
+  std::unordered_set<FiveTuple> distinct(universe.flows().begin(),
+                                         universe.flows().end());
+  EXPECT_EQ(distinct.size(), 500u);
+}
+
+TEST(FlowUniverse, DeterministicAcrossRuns) {
+  TraceConfig config = TraceConfig::CaidaLike(1000);
+  config.num_flows = 200;
+  FlowUniverse a(config), b(config);
+  EXPECT_EQ(a.flows(), b.flows());
+}
+
+TEST(FlowUniverse, ChurnReplacesFlows) {
+  TraceConfig config = TraceConfig::CaidaLike(1000);
+  config.num_flows = 1000;
+  FlowUniverse universe(config);
+  const auto before = universe.flows();
+  Rng rng(9);
+  universe.Churn(0.3, rng);
+  size_t changed = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    changed += !(before[i] == universe.flows()[i]);
+  }
+  EXPECT_GT(changed, 200u);  // ~30% replaced plus rank swaps
+}
+
+TEST(GenerateTrace, CountAndDeterminism) {
+  TraceConfig config = TraceConfig::CaidaLike(5000);
+  const auto t1 = GenerateTrace(config);
+  const auto t2 = GenerateTrace(config);
+  ASSERT_EQ(t1.size(), 5000u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(t1[i].key, t2[i].key);
+  }
+}
+
+TEST(GenerateTrace, HeavyTailedRankDistribution) {
+  // The top 1% of flows must carry a disproportionate share of packets.
+  TraceConfig config = TraceConfig::CaidaLike(200000);
+  const auto trace = GenerateTrace(config);
+  const auto truth = CountTrace(trace);
+  std::vector<uint64_t> sizes;
+  sizes.reserve(truth.DistinctFlows());
+  for (const auto& [key, count] : truth.counts()) sizes.push_back(count);
+  std::sort(sizes.rbegin(), sizes.rend());
+  uint64_t top = 0;
+  const size_t one_percent = sizes.size() / 100;
+  for (size_t i = 0; i < one_percent; ++i) top += sizes[i];
+  EXPECT_GT(static_cast<double>(top) / trace.size(), 0.15)
+      << "trace is not heavy-tailed";
+}
+
+TEST(GenerateTrace, MawiHasMoreFlowsPerPacket) {
+  const auto caida = GenerateTrace(TraceConfig::CaidaLike(50000));
+  const auto mawi = GenerateTrace(TraceConfig::MawiLike(50000));
+  EXPECT_GT(CountTrace(mawi).DistinctFlows(),
+            CountTrace(caida).DistinctFlows());
+}
+
+TEST(GenerateChurnPair, EpochsShareAndDiffer) {
+  TraceConfig config = TraceConfig::CaidaLike(20000);
+  const auto pair = GenerateChurnPair(config, 0.3);
+  ASSERT_EQ(pair.before.size(), 20000u);
+  ASSERT_EQ(pair.after.size(), 20000u);
+  const auto before = CountTrace(pair.before);
+  const auto after = CountTrace(pair.after);
+  // Some flows persist across epochs, some are new.
+  size_t shared = 0;
+  for (const auto& [key, count] : after.counts()) {
+    shared += before.Count(key) > 0;
+  }
+  EXPECT_GT(shared, 0u);
+  EXPECT_LT(shared, after.DistinctFlows());
+  // And there must be nontrivial heavy changes.
+  const uint64_t threshold = before.Total() / 1000;
+  EXPECT_GT(before.HeavyChanges(after, threshold).size(), 0u);
+}
+
+TEST(TraceIo, RoundTrip) {
+  TraceConfig config = TraceConfig::CaidaLike(1000);
+  const auto trace = GenerateTrace(config);
+  const std::string path = ::testing::TempDir() + "/coco_trace_roundtrip.bin";
+  ASSERT_TRUE(WriteTrace(path, trace));
+  bool ok = false;
+  const auto loaded = ReadTrace(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(loaded[i].key, trace[i].key);
+    ASSERT_EQ(loaded[i].weight, trace[i].weight);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingFile) {
+  bool ok = true;
+  const auto loaded = ReadTrace("/nonexistent/coco.bin", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/coco_trace_bad.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOTATRACE1234567", 1, 16, f);
+  std::fclose(f);
+  bool ok = true;
+  const auto loaded = ReadTrace(path, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsTruncatedFile) {
+  TraceConfig config = TraceConfig::CaidaLike(100);
+  const auto trace = GenerateTrace(config);
+  const std::string path = ::testing::TempDir() + "/coco_trace_trunc.bin";
+  ASSERT_TRUE(WriteTrace(path, trace));
+  // Truncate mid-record.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), 40), 0);
+  bool ok = true;
+  const auto loaded = ReadTrace(path, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(ExactCounter, HeavyHittersThreshold) {
+  ExactCounter<IPv4Key> counter;
+  counter.Add(IPv4Key(1), 100);
+  counter.Add(IPv4Key(2), 50);
+  counter.Add(IPv4Key(3), 10);
+  const auto hh = counter.HeavyHitters(50);
+  EXPECT_EQ(hh.size(), 2u);
+}
+
+TEST(ExactCounter, HeavyChangesBothDirections) {
+  ExactCounter<IPv4Key> a, b;
+  a.Add(IPv4Key(1), 100);  // drops to 0: change 100
+  b.Add(IPv4Key(2), 80);   // appears: change 80
+  a.Add(IPv4Key(3), 50);   // stable
+  b.Add(IPv4Key(3), 55);   // change 5
+  const auto changes = a.HeavyChanges(b, 50);
+  EXPECT_EQ(changes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace coco::trace

@@ -1,0 +1,78 @@
+// Tests for UnivMon: level sampling, heavy hitters, and the G-sum /
+// entropy extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/sizes.h"
+#include "packet/keys.h"
+#include "sketch/univmon.h"
+#include "trace/generators.h"
+#include "trace/ground_truth.h"
+
+namespace coco::sketch {
+namespace {
+
+TEST(UnivMon, SingleFlowTracked) {
+  UnivMon<IPv4Key> um(MiB(1), 8, 64);
+  for (int i = 0; i < 5000; ++i) um.Update(IPv4Key(3), 1);
+  EXPECT_NEAR(static_cast<double>(um.Query(IPv4Key(3))), 5000.0, 500.0);
+  EXPECT_TRUE(um.Decode().count(IPv4Key(3)));
+}
+
+TEST(UnivMon, DetectsElephants) {
+  UnivMon<IPv4Key> um(MiB(1), 8, 128);
+  Rng rng(2);
+  for (int i = 0; i < 40000; ++i) {
+    um.Update(IPv4Key(1), 1);
+    um.Update(IPv4Key(static_cast<uint32_t>(rng.NextBelow(20000)) + 5), 1);
+  }
+  const auto decoded = um.Decode();
+  ASSERT_TRUE(decoded.count(IPv4Key(1)));
+  EXPECT_NEAR(static_cast<double>(decoded.at(IPv4Key(1))), 40000.0, 4000.0);
+}
+
+TEST(UnivMon, MemoryWithinBudget) {
+  UnivMon<FiveTuple> um(MiB(1), 14, 128);
+  EXPECT_LE(um.MemoryBytes(), MiB(1) + KiB(64));
+  EXPECT_EQ(um.levels(), 14u);
+}
+
+TEST(UnivMon, EntropyEstimateReasonable) {
+  // Uniform traffic over 1024 flows has entropy exactly 10 bits; accept the
+  // coarse estimate universal sketching gives at small memory.
+  UnivMon<IPv4Key> um(MiB(2), 10, 256);
+  Rng rng(3);
+  const uint64_t n = 200000;
+  for (uint64_t i = 0; i < n; ++i) {
+    um.Update(IPv4Key(static_cast<uint32_t>(rng.NextBelow(1024))), 1);
+  }
+  const double entropy = um.EstimateEntropy(n);
+  EXPECT_GT(entropy, 6.0);
+  EXPECT_LT(entropy, 14.0);
+}
+
+TEST(UnivMon, GsumWithIdentityApproximatesTotalCount) {
+  // g(x) = x makes the G-sum the total stream mass.
+  UnivMon<IPv4Key> um(MiB(2), 8, 512);
+  Rng rng(4);
+  const uint64_t n = 50000;
+  for (uint64_t i = 0; i < n; ++i) {
+    um.Update(IPv4Key(static_cast<uint32_t>(rng.NextBelow(200))), 1);
+  }
+  const double gsum =
+      um.ComputeGSum([](uint64_t x) { return static_cast<double>(x); });
+  EXPECT_NEAR(gsum, static_cast<double>(n), 0.25 * static_cast<double>(n));
+}
+
+TEST(UnivMon, ClearResets) {
+  UnivMon<IPv4Key> um(KiB(512), 6, 32);
+  um.Update(IPv4Key(1), 100);
+  um.Clear();
+  EXPECT_EQ(um.Query(IPv4Key(1)), 0u);
+  EXPECT_TRUE(um.Decode().empty());
+}
+
+}  // namespace
+}  // namespace coco::sketch

@@ -1,0 +1,146 @@
+// Tests for Unbiased SpaceSaving: mass conservation, the unbiasedness
+// property (the whole point of USS), and naive-vs-optimized agreement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/sizes.h"
+#include "packet/keys.h"
+#include "sketch/uss.h"
+
+namespace coco::sketch {
+namespace {
+
+TEST(Uss, ExactWhenNotFull) {
+  UnbiasedSpaceSaving<IPv4Key> uss(KiB(64));
+  for (int i = 0; i < 1000; ++i) {
+    uss.Update(IPv4Key(static_cast<uint32_t>(i % 20)), 2);
+  }
+  for (uint32_t k = 0; k < 20; ++k) {
+    EXPECT_EQ(uss.Query(IPv4Key(k)), 100u);
+  }
+}
+
+TEST(Uss, TotalMassConserved) {
+  UnbiasedSpaceSaving<IPv4Key> uss(KiB(2));
+  Rng rng(1);
+  uint64_t mass = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const uint32_t w = 1 + static_cast<uint32_t>(rng.NextBelow(3));
+    uss.Update(IPv4Key(static_cast<uint32_t>(rng.NextBelow(9000))), w);
+    mass += w;
+  }
+  uint64_t sum = 0;
+  for (const auto& [key, count] : uss.Decode()) sum += count;
+  EXPECT_EQ(sum, mass);
+}
+
+// The defining property (Lemma 3 applies since USS == CocoSketch with d =
+// number of buckets): E[estimate] = true count, estimating untracked flows
+// as 0. Averaged over independent seeds the estimate must converge on the
+// true count for every flow, heavy or light.
+TEST(Uss, UnbiasednessOverSeeds) {
+  const int kSeeds = 60;
+  const int kFlows = 60;           // more flows than...
+  const size_t kCapacityBytes = 30 * StreamSummary<IPv4Key>::EntryBytes();
+  std::vector<double> mean_est(kFlows, 0.0);
+  std::vector<uint64_t> true_count(kFlows);
+  for (int f = 0; f < kFlows; ++f) true_count[f] = 10 + 5 * f;
+
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    UnbiasedSpaceSaving<IPv4Key> uss(kCapacityBytes, seed * 7 + 1);
+    // Interleave flows round-robin so replacement pressure is continuous.
+    Rng order(seed);
+    std::vector<uint32_t> stream;
+    for (int f = 0; f < kFlows; ++f) {
+      for (uint64_t i = 0; i < true_count[f]; ++i) {
+        stream.push_back(static_cast<uint32_t>(f));
+      }
+    }
+    for (size_t i = stream.size(); i > 1; --i) {
+      std::swap(stream[i - 1], stream[order.NextBelow(i)]);
+    }
+    for (uint32_t f : stream) uss.Update(IPv4Key(f), 1);
+    const auto decoded = uss.Decode();
+    for (int f = 0; f < kFlows; ++f) {
+      auto it = decoded.find(IPv4Key(static_cast<uint32_t>(f)));
+      mean_est[f] += it == decoded.end() ? 0.0
+                                         : static_cast<double>(it->second);
+    }
+  }
+  // Mean estimate within 25% of truth for the heavier half (light flows have
+  // relative variance too large for 60 trials).
+  for (int f = kFlows / 2; f < kFlows; ++f) {
+    const double mean = mean_est[f] / kSeeds;
+    EXPECT_NEAR(mean, static_cast<double>(true_count[f]),
+                0.25 * static_cast<double>(true_count[f]))
+        << "flow " << f;
+  }
+}
+
+TEST(Uss, NaiveAndOptimizedAgreeInDistribution) {
+  // The two implementations are the same algorithm; with matched seeds and
+  // capacities their total mass agrees exactly and their heavy-flow
+  // estimates agree closely.
+  const size_t capacity = 64;
+  UnbiasedSpaceSaving<IPv4Key> fast(
+      capacity * StreamSummary<IPv4Key>::EntryBytes(), 42);
+  NaiveUnbiasedSpaceSaving<IPv4Key> naive(
+      capacity * (sizeof(IPv4Key) + sizeof(uint64_t)), 42);
+  ASSERT_EQ(fast.capacity(), capacity);
+
+  Rng rng(10);
+  uint64_t mass = 0;
+  for (int i = 0; i < 20000; ++i) {
+    // One dominant key (25% of traffic) over uniform background: both
+    // implementations must pin it well above the replacement churn.
+    const uint32_t key =
+        rng.Bernoulli(0.25)
+            ? 0
+            : 1 + static_cast<uint32_t>(rng.NextBelow(5000));
+    fast.Update(IPv4Key(key), 1);
+    naive.Update(IPv4Key(key), 1);
+    ++mass;
+  }
+  uint64_t fast_sum = 0, naive_sum = 0;
+  for (const auto& [k, c] : fast.Decode()) fast_sum += c;
+  for (const auto& [k, c] : naive.Decode()) naive_sum += c;
+  EXPECT_EQ(fast_sum, mass);
+  EXPECT_EQ(naive_sum, mass);
+
+  // Heaviest key is tracked accurately by both.
+  const double f0 = static_cast<double>(fast.Query(IPv4Key(0)));
+  const double n0 = static_cast<double>(naive.Query(IPv4Key(0)));
+  EXPECT_GT(f0, 0.0);
+  EXPECT_GT(n0, 0.0);
+  EXPECT_NEAR(f0, n0, 0.3 * std::max(f0, n0));
+}
+
+TEST(Uss, ReplacementProbabilityRoughlyWOverC) {
+  // Statistical check of the core rule: with min count C and unit weight,
+  // an untracked arrival takes over the min bucket with probability
+  // ~ 1/(C+1).
+  const int kTrials = 20000;
+  int replaced = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    UnbiasedSpaceSaving<IPv4Key> uss(
+        1 * StreamSummary<IPv4Key>::EntryBytes(), t + 1);
+    ASSERT_EQ(uss.capacity(), 1u);
+    for (int i = 0; i < 9; ++i) uss.Update(IPv4Key(1), 1);  // C = 9
+    uss.Update(IPv4Key(2), 1);  // newcomer: replace w.p. 1/10
+    replaced += uss.Query(IPv4Key(2)) > 0;
+  }
+  EXPECT_NEAR(static_cast<double>(replaced) / kTrials, 0.1, 0.01);
+}
+
+TEST(NaiveUss, ClearResets) {
+  NaiveUnbiasedSpaceSaving<IPv4Key> uss(KiB(1));
+  uss.Update(IPv4Key(1), 3);
+  uss.Clear();
+  EXPECT_EQ(uss.Query(IPv4Key(1)), 0u);
+}
+
+}  // namespace
+}  // namespace coco::sketch
