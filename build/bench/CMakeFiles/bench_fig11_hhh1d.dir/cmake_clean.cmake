@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hhh1d.dir/bench_fig11_hhh1d.cpp.o"
+  "CMakeFiles/bench_fig11_hhh1d.dir/bench_fig11_hhh1d.cpp.o.d"
+  "bench_fig11_hhh1d"
+  "bench_fig11_hhh1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hhh1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

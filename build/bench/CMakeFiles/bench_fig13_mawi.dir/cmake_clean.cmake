@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mawi.dir/bench_fig13_mawi.cpp.o"
+  "CMakeFiles/bench_fig13_mawi.dir/bench_fig13_mawi.cpp.o.d"
+  "bench_fig13_mawi"
+  "bench_fig13_mawi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mawi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15a_ovs.dir/bench_fig15a_ovs.cpp.o"
+  "CMakeFiles/bench_fig15a_ovs.dir/bench_fig15a_ovs.cpp.o.d"
+  "bench_fig15a_ovs"
+  "bench_fig15a_ovs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15a_ovs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

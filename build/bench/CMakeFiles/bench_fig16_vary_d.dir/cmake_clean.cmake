@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_vary_d.dir/bench_fig16_vary_d.cpp.o"
+  "CMakeFiles/bench_fig16_vary_d.dir/bench_fig16_vary_d.cpp.o.d"
+  "bench_fig16_vary_d"
+  "bench_fig16_vary_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_vary_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18b_fullkey.dir/bench_fig18b_fullkey.cpp.o"
+  "CMakeFiles/bench_fig18b_fullkey.dir/bench_fig18b_fullkey.cpp.o.d"
+  "bench_fig18b_fullkey"
+  "bench_fig18b_fullkey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18b_fullkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

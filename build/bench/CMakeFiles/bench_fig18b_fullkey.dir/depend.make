@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig18b_fullkey.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_task_fsd_entropy.dir/bench_task_fsd_entropy.cpp.o"
+  "CMakeFiles/bench_task_fsd_entropy.dir/bench_task_fsd_entropy.cpp.o.d"
+  "bench_task_fsd_entropy"
+  "bench_task_fsd_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_task_fsd_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_task_fsd_entropy.
+# This may be replaced when dependencies are built.

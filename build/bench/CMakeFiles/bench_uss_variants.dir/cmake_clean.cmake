@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uss_variants.dir/bench_uss_variants.cpp.o"
+  "CMakeFiles/bench_uss_variants.dir/bench_uss_variants.cpp.o.d"
+  "bench_uss_variants"
+  "bench_uss_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uss_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

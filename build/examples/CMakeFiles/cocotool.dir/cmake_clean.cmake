@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocotool.dir/cocotool.cpp.o"
+  "CMakeFiles/cocotool.dir/cocotool.cpp.o.d"
+  "cocotool"
+  "cocotool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocotool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

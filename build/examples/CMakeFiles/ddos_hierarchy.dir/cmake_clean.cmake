@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_hierarchy.dir/ddos_hierarchy.cpp.o"
+  "CMakeFiles/ddos_hierarchy.dir/ddos_hierarchy.cpp.o.d"
+  "ddos_hierarchy"
+  "ddos_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavy_change_monitor.dir/heavy_change_monitor.cpp.o"
+  "CMakeFiles/heavy_change_monitor.dir/heavy_change_monitor.cpp.o.d"
+  "heavy_change_monitor"
+  "heavy_change_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavy_change_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovs_pipeline.dir/ovs_pipeline.cpp.o"
+  "CMakeFiles/ovs_pipeline.dir/ovs_pipeline.cpp.o.d"
+  "ovs_pipeline"
+  "ovs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/super_spreader.dir/super_spreader.cpp.o"
+  "CMakeFiles/super_spreader.dir/super_spreader.cpp.o.d"
+  "super_spreader"
+  "super_spreader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/super_spreader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

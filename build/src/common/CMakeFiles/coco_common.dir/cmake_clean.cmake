@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coco_common.dir/bytes.cpp.o"
+  "CMakeFiles/coco_common.dir/bytes.cpp.o.d"
+  "libcoco_common.a"
+  "libcoco_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coco_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

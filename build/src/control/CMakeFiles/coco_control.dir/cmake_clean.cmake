@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coco_control.dir/planner.cpp.o"
+  "CMakeFiles/coco_control.dir/planner.cpp.o.d"
+  "libcoco_control.a"
+  "libcoco_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coco_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coco_hash.dir/bobhash.cpp.o"
+  "CMakeFiles/coco_hash.dir/bobhash.cpp.o.d"
+  "libcoco_hash.a"
+  "libcoco_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coco_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/fpga_model.cpp" "src/hw/CMakeFiles/coco_hw.dir/fpga_model.cpp.o" "gcc" "src/hw/CMakeFiles/coco_hw.dir/fpga_model.cpp.o.d"
+  "/root/repo/src/hw/fpga_sim.cpp" "src/hw/CMakeFiles/coco_hw.dir/fpga_sim.cpp.o" "gcc" "src/hw/CMakeFiles/coco_hw.dir/fpga_sim.cpp.o.d"
+  "/root/repo/src/hw/rmt_model.cpp" "src/hw/CMakeFiles/coco_hw.dir/rmt_model.cpp.o" "gcc" "src/hw/CMakeFiles/coco_hw.dir/rmt_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/coco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coco_hw.dir/fpga_model.cpp.o"
+  "CMakeFiles/coco_hw.dir/fpga_model.cpp.o.d"
+  "CMakeFiles/coco_hw.dir/fpga_sim.cpp.o"
+  "CMakeFiles/coco_hw.dir/fpga_sim.cpp.o.d"
+  "CMakeFiles/coco_hw.dir/rmt_model.cpp.o"
+  "CMakeFiles/coco_hw.dir/rmt_model.cpp.o.d"
+  "libcoco_hw.a"
+  "libcoco_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coco_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

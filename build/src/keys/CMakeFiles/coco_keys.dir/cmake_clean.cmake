@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coco_keys.dir/key_spec.cpp.o"
+  "CMakeFiles/coco_keys.dir/key_spec.cpp.o.d"
+  "libcoco_keys.a"
+  "libcoco_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coco_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coco_metrics.dir/accuracy.cpp.o"
+  "CMakeFiles/coco_metrics.dir/accuracy.cpp.o.d"
+  "libcoco_metrics.a"
+  "libcoco_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coco_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coco_ovs.dir/datapath_sim.cpp.o"
+  "CMakeFiles/coco_ovs.dir/datapath_sim.cpp.o.d"
+  "libcoco_ovs.a"
+  "libcoco_ovs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coco_ovs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

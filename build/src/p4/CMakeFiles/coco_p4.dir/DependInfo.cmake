@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4/coco_program.cpp" "src/p4/CMakeFiles/coco_p4.dir/coco_program.cpp.o" "gcc" "src/p4/CMakeFiles/coco_p4.dir/coco_program.cpp.o.d"
+  "/root/repo/src/p4/program.cpp" "src/p4/CMakeFiles/coco_p4.dir/program.cpp.o" "gcc" "src/p4/CMakeFiles/coco_p4.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/coco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/coco_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/coco_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/coco_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

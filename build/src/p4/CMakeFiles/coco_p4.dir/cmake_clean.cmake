@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coco_p4.dir/coco_program.cpp.o"
+  "CMakeFiles/coco_p4.dir/coco_program.cpp.o.d"
+  "CMakeFiles/coco_p4.dir/program.cpp.o"
+  "CMakeFiles/coco_p4.dir/program.cpp.o.d"
+  "libcoco_p4.a"
+  "libcoco_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coco_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coco_packet.dir/keys.cpp.o"
+  "CMakeFiles/coco_packet.dir/keys.cpp.o.d"
+  "libcoco_packet.a"
+  "libcoco_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coco_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

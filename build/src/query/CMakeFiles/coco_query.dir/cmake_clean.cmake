@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coco_query.dir/sql.cpp.o"
+  "CMakeFiles/coco_query.dir/sql.cpp.o.d"
+  "libcoco_query.a"
+  "libcoco_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coco_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

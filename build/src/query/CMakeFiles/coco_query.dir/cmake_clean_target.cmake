@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoco_query.a"
+)

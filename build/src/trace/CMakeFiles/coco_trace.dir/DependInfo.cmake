@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generators.cpp" "src/trace/CMakeFiles/coco_trace.dir/generators.cpp.o" "gcc" "src/trace/CMakeFiles/coco_trace.dir/generators.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/coco_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/coco_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/zipf.cpp" "src/trace/CMakeFiles/coco_trace.dir/zipf.cpp.o" "gcc" "src/trace/CMakeFiles/coco_trace.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/coco_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/keys/CMakeFiles/coco_keys.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/coco_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/coco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

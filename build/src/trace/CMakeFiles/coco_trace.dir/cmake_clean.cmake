@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coco_trace.dir/generators.cpp.o"
+  "CMakeFiles/coco_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/coco_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/coco_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/coco_trace.dir/zipf.cpp.o"
+  "CMakeFiles/coco_trace.dir/zipf.cpp.o.d"
+  "libcoco_trace.a"
+  "libcoco_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coco_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_divider_test.dir/approx_divider_test.cpp.o"
+  "CMakeFiles/approx_divider_test.dir/approx_divider_test.cpp.o.d"
+  "approx_divider_test"
+  "approx_divider_test.pdb"
+  "approx_divider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_divider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

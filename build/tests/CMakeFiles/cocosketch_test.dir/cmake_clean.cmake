@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocosketch_test.dir/cocosketch_test.cpp.o"
+  "CMakeFiles/cocosketch_test.dir/cocosketch_test.cpp.o.d"
+  "cocosketch_test"
+  "cocosketch_test.pdb"
+  "cocosketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocosketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_cocosketch_test.dir/distinct_cocosketch_test.cpp.o"
+  "CMakeFiles/distinct_cocosketch_test.dir/distinct_cocosketch_test.cpp.o.d"
+  "distinct_cocosketch_test"
+  "distinct_cocosketch_test.pdb"
+  "distinct_cocosketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_cocosketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

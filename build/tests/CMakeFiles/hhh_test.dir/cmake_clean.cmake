@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhh_test.dir/hhh_test.cpp.o"
+  "CMakeFiles/hhh_test.dir/hhh_test.cpp.o.d"
+  "hhh_test"
+  "hhh_test.pdb"
+  "hhh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_cocosketch_test.dir/hw_cocosketch_test.cpp.o"
+  "CMakeFiles/hw_cocosketch_test.dir/hw_cocosketch_test.cpp.o.d"
+  "hw_cocosketch_test"
+  "hw_cocosketch_test.pdb"
+  "hw_cocosketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_cocosketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovs_test.dir/ovs_test.cpp.o"
+  "CMakeFiles/ovs_test.dir/ovs_test.cpp.o.d"
+  "ovs_test"
+  "ovs_test.pdb"
+  "ovs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

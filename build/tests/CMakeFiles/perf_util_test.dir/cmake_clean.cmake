@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_util_test.dir/perf_util_test.cpp.o"
+  "CMakeFiles/perf_util_test.dir/perf_util_test.cpp.o.d"
+  "perf_util_test"
+  "perf_util_test.pdb"
+  "perf_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhhh_test.dir/rhhh_test.cpp.o"
+  "CMakeFiles/rhhh_test.dir/rhhh_test.cpp.o.d"
+  "rhhh_test"
+  "rhhh_test.pdb"
+  "rhhh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhhh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_model_test.dir/rmt_model_test.cpp.o"
+  "CMakeFiles/rmt_model_test.dir/rmt_model_test.cpp.o.d"
+  "rmt_model_test"
+  "rmt_model_test.pdb"
+  "rmt_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

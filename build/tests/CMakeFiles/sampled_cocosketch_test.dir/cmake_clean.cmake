@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampled_cocosketch_test.dir/sampled_cocosketch_test.cpp.o"
+  "CMakeFiles/sampled_cocosketch_test.dir/sampled_cocosketch_test.cpp.o.d"
+  "sampled_cocosketch_test"
+  "sampled_cocosketch_test.pdb"
+  "sampled_cocosketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampled_cocosketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/coco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/coco_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/coco_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/keys/CMakeFiles/coco_keys.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/coco_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/coco_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/coco_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/coco_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/coco_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/coco_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/ovs/CMakeFiles/coco_ovs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

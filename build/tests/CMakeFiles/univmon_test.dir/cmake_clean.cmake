@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/univmon_test.dir/univmon_test.cpp.o"
+  "CMakeFiles/univmon_test.dir/univmon_test.cpp.o.d"
+  "univmon_test"
+  "univmon_test.pdb"
+  "univmon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/univmon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

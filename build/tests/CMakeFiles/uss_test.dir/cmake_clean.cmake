@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uss_test.dir/uss_test.cpp.o"
+  "CMakeFiles/uss_test.dir/uss_test.cpp.o.d"
+  "uss_test"
+  "uss_test.pdb"
+  "uss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

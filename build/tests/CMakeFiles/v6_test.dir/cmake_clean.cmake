@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_test.dir/v6_test.cpp.o"
+  "CMakeFiles/v6_test.dir/v6_test.cpp.o.d"
+  "v6_test"
+  "v6_test.pdb"
+  "v6_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
