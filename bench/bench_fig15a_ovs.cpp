@@ -22,7 +22,7 @@ int main() {
       "host has %u cores)\n",
       trace.size(), std::thread::hardware_concurrency());
 
-  std::vector<double> with_sketch, without_sketch, overhead;
+  std::vector<double> with_sketch, without_sketch, overhead, batch_fill;
   for (size_t threads = 1; threads <= 4; ++threads) {
     ovs::DatapathConfig with;
     with.num_queues = threads;
@@ -32,6 +32,7 @@ int main() {
     const auto rw = ovs::RunDatapath(with, trace);
     with_sketch.push_back(rw.mpps);
     overhead.push_back(100.0 * rw.measurement_cpu_fraction);
+    batch_fill.push_back(rw.avg_batch_fill);
 
     ovs::DatapathConfig without = with;
     without.with_sketch = false;
@@ -43,6 +44,7 @@ int main() {
   PrintRow("OVS w/o", without_sketch, " %8.2f");
   PrintRow("OVS w/", with_sketch, " %8.2f");
   PrintRow("upd-cpu%", overhead, " %8.2f");
+  PrintRow("batchfill", batch_fill, " %8.2f");
 
   std::printf(
       "\nExpected shape (paper): both configs climb with threads and pin at "

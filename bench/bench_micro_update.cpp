@@ -3,6 +3,10 @@
 // framework-quality timing (warmup, iteration control, statistics).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "common/sizes.h"
 #include "core/cocosketch.h"
 #include "core/hw_cocosketch.h"
@@ -36,17 +40,65 @@ void RunUpdates(benchmark::State& state, SketchT& sketch) {
   state.SetItemsProcessed(state.iterations());
 }
 
-void BM_CocoSketchUpdate(benchmark::State& state) {
-  core::CocoSketch<FiveTuple> sketch(KiB(500), state.range(0));
+// Streams the shared trace through `sketch.UpdateBatch` in chunks of
+// `batch` packets; one iteration = one batch, items/sec stays comparable
+// with RunUpdates via SetItemsProcessed.
+template <typename SketchT>
+void RunBatchedUpdates(benchmark::State& state, SketchT& sketch,
+                       size_t batch) {
+  const auto& trace = SharedTrace();
+  size_t i = 0;
+  uint64_t items = 0;
+  for (auto _ : state) {
+    const size_t n = std::min(batch, trace.size() - i);
+    sketch.UpdateBatch(trace.data() + i, n);
+    items += n;
+    i += n;
+    if (i == trace.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(items));
+}
+
+// Memory sizes chosen to span the cache hierarchy: 24 KiB sits in L1,
+// 192 KiB in L2, 500 KiB (the paper's CPU config) in L2/LLC, 4 MiB in
+// LLC/DRAM — where the prefetch pipeline pays off.
+const std::vector<int64_t> kDs = {1, 2, 3, 4};
+const std::vector<int64_t> kMemKiB = {24, 192, 500, 4096};
+
+void BM_CocoSketchUpdateScalar(benchmark::State& state) {
+  core::CocoSketch<FiveTuple> sketch(KiB(state.range(1)), state.range(0));
   RunUpdates(state, sketch);
 }
-BENCHMARK(BM_CocoSketchUpdate)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_CocoSketchUpdateScalar)->ArgsProduct({kDs, kMemKiB});
+
+void BM_CocoSketchUpdateBatched(benchmark::State& state) {
+  core::CocoSketch<FiveTuple> sketch(KiB(state.range(1)), state.range(0));
+  RunBatchedUpdates(state, sketch,
+                    core::CocoSketch<FiveTuple>::kBatchWindow);
+}
+BENCHMARK(BM_CocoSketchUpdateBatched)->ArgsProduct({kDs, kMemKiB});
+
+// Batch-size sweep at the paper's 500 KiB / d=2 config: shows where the
+// prefetch pipeline saturates (and that tiny batches degrade to scalar).
+void BM_CocoSketchBatchSweep(benchmark::State& state) {
+  core::CocoSketch<FiveTuple> sketch(KiB(500), 2);
+  RunBatchedUpdates(state, sketch, static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_CocoSketchBatchSweep)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_HwCocoSketchUpdate(benchmark::State& state) {
   core::HwCocoSketch<FiveTuple> sketch(KiB(500), state.range(0));
   RunUpdates(state, sketch);
 }
 BENCHMARK(BM_HwCocoSketchUpdate)->Arg(1)->Arg(2);
+
+void BM_HwCocoSketchUpdateBatched(benchmark::State& state) {
+  core::HwCocoSketch<FiveTuple> sketch(KiB(500), state.range(0));
+  RunBatchedUpdates(state, sketch,
+                    core::HwCocoSketch<FiveTuple>::kBatchWindow);
+}
+BENCHMARK(BM_HwCocoSketchUpdateBatched)->Arg(1)->Arg(2);
 
 void BM_HwCocoSketchP4Update(benchmark::State& state) {
   core::HwCocoSketch<FiveTuple> sketch(KiB(500), 2,

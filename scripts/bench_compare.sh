@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Compares CocoSketch scalar vs batched update throughput, and optionally a
+# current run against a saved baseline, so perf PRs can spot regressions.
+#
+# Usage:
+#   scripts/bench_compare.sh [BENCH_BINARY] [BASELINE_JSON]
+#
+#   BENCH_BINARY   path to bench_micro_update (default:
+#                  build/bench/bench_micro_update)
+#   BASELINE_JSON  optional --benchmark_format=json output from a previous
+#                  run; when given, per-benchmark deltas are printed too.
+#
+# The current run's JSON is written to bench_current.json in the working
+# directory; save it as the baseline for the next comparison:
+#   scripts/bench_compare.sh                        # before your change
+#   cp bench_current.json bench_baseline.json
+#   ... apply change, rebuild ...
+#   scripts/bench_compare.sh build/bench/bench_micro_update bench_baseline.json
+set -euo pipefail
+
+BENCH="${1:-build/bench/bench_micro_update}"
+BASELINE="${2:-}"
+OUT="bench_current.json"
+FILTER='BM_CocoSketchUpdate(Scalar|Batched)|BM_HwCocoSketchUpdate'
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "error: bench binary not found at $BENCH (build it first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j --target bench_micro_update)" >&2
+  exit 1
+fi
+
+echo "running $BENCH (filter: $FILTER) ..." >&2
+"$BENCH" --benchmark_filter="$FILTER" --benchmark_format=json \
+  --benchmark_min_time=0.5 > "$OUT"
+
+python3 - "$OUT" "$BASELINE" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips:
+            out[b["name"]] = ips
+    return out
+
+current = load(sys.argv[1])
+baseline = load(sys.argv[2]) if len(sys.argv) > 2 and sys.argv[2] else None
+
+def fmt(v):
+    return f"{v / 1e6:8.2f}M/s"
+
+print("\n== scalar -> batched (same build) ==")
+print(f"{'config':>16} {'scalar':>12} {'batched':>12} {'speedup':>8}")
+worst = None
+for name, ips in sorted(current.items()):
+    if "UpdateScalar" not in name:
+        continue
+    partner = name.replace("UpdateScalar", "UpdateBatched")
+    if partner not in current:
+        continue
+    config = name.split("/", 1)[1] if "/" in name else ""
+    ratio = current[partner] / ips
+    print(f"{config:>16} {fmt(ips)} {fmt(current[partner])} {ratio:7.2f}x")
+    if worst is None or ratio < worst[1]:
+        worst = (config, ratio)
+if worst:
+    print(f"\nsmallest scalar->batched speedup: {worst[1]:.2f}x (d/KiB {worst[0]})")
+
+if baseline is not None:
+    print("\n== current vs baseline ==")
+    print(f"{'benchmark':>42} {'baseline':>12} {'current':>12} {'delta':>8}")
+    regressions = 0
+    for name in sorted(current):
+        if name not in baseline:
+            continue
+        delta = current[name] / baseline[name] - 1.0
+        flag = " <-- regression" if delta < -0.10 else ""
+        if delta < -0.10:
+            regressions += 1
+        print(f"{name:>42} {fmt(baseline[name])} {fmt(current[name])} "
+              f"{delta:+7.1%}{flag}")
+    if regressions:
+        print(f"\n{regressions} benchmark(s) regressed by >10% vs baseline")
+        sys.exit(1)
+EOF

@@ -42,6 +42,21 @@ inline uint64_t LoadBE64(const uint8_t* p) {
   return (static_cast<uint64_t>(LoadBE32(p)) << 32) | LoadBE32(p + 4);
 }
 
+// Native-endian unaligned load of `n` <= 8 bytes, zero-extended. Used for
+// word-wise equality comparison where byte order is irrelevant; compiles to
+// a single load for constant n.
+inline uint64_t LoadNative(const uint8_t* p, size_t n) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, n);
+  return v;
+}
+
+inline uint64_t LoadNative64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
 // Renders an IPv4 address held in host order as dotted decimal.
 std::string Ipv4ToString(uint32_t addr_host_order);
 

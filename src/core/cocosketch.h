@@ -16,13 +16,14 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/check.h"
 #include "common/rng.h"
-#include "hash/bobhash.h"
+#include "hash/multihash.h"
 
 namespace coco::core {
 
@@ -36,6 +37,11 @@ class CocoSketch {
 
   static constexpr size_t kMaxD = 8;
 
+  // Packets per software-pipeline window in UpdateBatch: large enough to
+  // cover DRAM latency with outstanding prefetches, small enough that the
+  // per-window index scratch stays in L1.
+  static constexpr size_t kBatchWindow = 32;
+
   // Logical per-bucket footprint (key bytes + 32-bit counter), the layout a
   // hardware deployment would use; memory budgets are divided by this.
   static constexpr size_t BucketBytes() {
@@ -45,7 +51,7 @@ class CocoSketch {
   CocoSketch(size_t memory_bytes, size_t d = 2, uint64_t seed = 0xc0c0)
       : d_(d),
         l_(memory_bytes / (d * BucketBytes())),
-        hash_(seed),
+        hash_(seed, d_, l_ == 0 ? 1 : l_),
         rng_(seed ^ 0x5eedf00d),
         buckets_(d_ * l_) {
     COCO_CHECK(d_ >= 1 && d_ <= kMaxD, "d out of range");
@@ -53,48 +59,55 @@ class CocoSketch {
   }
 
   void Update(const Key& key, uint32_t weight) {
-    size_t idx[kMaxD] = {};
-    // Pass 1: if the flow is already tracked, increment it — variance
-    // increment zero (Theorem 2).
-    for (size_t i = 0; i < d_; ++i) {
-      idx[i] = Slot(i, key);
-      Bucket& b = buckets_[idx[i]];
-      if (b.value != 0 && b.key == key) {
-        b.value += weight;
-        return;
+    uint32_t slot[kMaxD];
+    hash_.Slots(key.data(), key.size(), slot);
+    size_t idx[kMaxD];
+    for (size_t i = 0; i < d_; ++i) idx[i] = i * l_ + slot[i];
+    UpdateAt(idx, key, weight);
+  }
+
+  // Batched fast path: processes records (anything with `.key` convertible
+  // to Key and a uint32_t `.weight`, e.g. coco::Packet) in windows of
+  // kBatchWindow. Phase 1 computes every mapped index for the window and
+  // issues software prefetches; phase 2 runs the exact scalar update logic
+  // against now-resident lines. Hashing has no side effects and phase 2
+  // processes packets in stream order, so the resulting state — including
+  // RNG consumption order — is byte-identical to per-packet Update() calls
+  // (state-equality-tested in tests/batch_test.cpp).
+  template <typename Record>
+  void UpdateBatch(const Record* records, size_t count) {
+    size_t idx[kBatchWindow][kMaxD];
+    for (size_t base = 0; base < count; base += kBatchWindow) {
+      const size_t n =
+          count - base < kBatchWindow ? count - base : kBatchWindow;
+      for (size_t j = 0; j < n; ++j) {
+        const Key& key = records[base + j].key;
+        uint32_t slot[kMaxD];
+        hash_.Slots(key.data(), key.size(), slot);
+        for (size_t i = 0; i < d_; ++i) {
+          idx[j][i] = i * l_ + slot[i];
+          __builtin_prefetch(&buckets_[idx[j][i]], 1, 3);
+        }
+      }
+      for (size_t j = 0; j < n; ++j) {
+        UpdateAt(idx[j], records[base + j].key, records[base + j].weight);
       }
     }
-    // Pass 2: smallest mapped bucket, ties broken uniformly at random
-    // (reservoir over equal minima, as §4.1 specifies).
-    size_t chosen = idx[0];
-    size_t ties = 1;
-    for (size_t i = 1; i < d_; ++i) {
-      const uint32_t v = buckets_[idx[i]].value;
-      const uint32_t best = buckets_[chosen].value;
-      if (v < best) {
-        chosen = idx[i];
-        ties = 1;
-      } else if (v == best) {
-        ++ties;
-        if (rng_.NextBelow(ties) == 0) chosen = idx[i];
-      }
-    }
-    Bucket& b = buckets_[chosen];
-    b.value += weight;
-    // Replace with probability weight / V_new, computed in exact integer
-    // arithmetic: replace iff rand32 * V < weight * 2^32.
-    if (static_cast<uint64_t>(rng_.Next32()) * b.value <
-        (static_cast<uint64_t>(weight) << 32)) {
-      b.key = key;
-    }
+  }
+
+  template <typename Record>
+  void UpdateBatch(std::span<const Record> batch) {
+    UpdateBatch(batch.data(), batch.size());
   }
 
   // Point query: the tracked value, 0 if untracked. (A key occupies at most
   // one bucket at a time: matches are incremented in place and replacement
   // writes only happen when no bucket matched.)
   uint64_t Query(const Key& key) const {
+    uint32_t slot[kMaxD];
+    hash_.Slots(key.data(), key.size(), slot);
     for (size_t i = 0; i < d_; ++i) {
-      const Bucket& b = buckets_[Slot(i, key)];
+      const Bucket& b = buckets_[i * l_ + slot[i]];
       if (b.value != 0 && b.key == key) return b.value;
     }
     return 0;
@@ -164,13 +177,47 @@ class CocoSketch {
   }
 
  private:
-  size_t Slot(size_t array, const Key& key) const {
-    return array * l_ + hash_(array, key.data(), key.size()) % l_;
+  // The scalar update rule of §4.1, operating on precomputed absolute
+  // bucket indices (array i's slot offset by i*l). Shared verbatim by
+  // Update() and UpdateBatch() so the two paths cannot drift.
+  void UpdateAt(const size_t* idx, const Key& key, uint32_t weight) {
+    // Pass 1: if the flow is already tracked, increment it — variance
+    // increment zero (Theorem 2).
+    for (size_t i = 0; i < d_; ++i) {
+      Bucket& b = buckets_[idx[i]];
+      if (b.value != 0 && b.key == key) {
+        b.value += weight;
+        return;
+      }
+    }
+    // Pass 2: smallest mapped bucket, ties broken uniformly at random
+    // (reservoir over equal minima, as §4.1 specifies).
+    size_t chosen = idx[0];
+    size_t ties = 1;
+    for (size_t i = 1; i < d_; ++i) {
+      const uint32_t v = buckets_[idx[i]].value;
+      const uint32_t best = buckets_[chosen].value;
+      if (v < best) {
+        chosen = idx[i];
+        ties = 1;
+      } else if (v == best) {
+        ++ties;
+        if (rng_.NextBelow(ties) == 0) chosen = idx[i];
+      }
+    }
+    Bucket& b = buckets_[chosen];
+    b.value += weight;
+    // Replace with probability weight / V_new, computed in exact integer
+    // arithmetic: replace iff rand32 * V < weight * 2^32.
+    if (static_cast<uint64_t>(rng_.Next32()) * b.value <
+        (static_cast<uint64_t>(weight) << 32)) {
+      b.key = key;
+    }
   }
 
   size_t d_;
   size_t l_;
-  hash::HashFamily hash_;
+  hash::MultiHash hash_;
   Rng rng_;
   std::vector<Bucket> buckets_;
 };

@@ -19,12 +19,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/check.h"
 #include "common/rng.h"
-#include "hash/bobhash.h"
+#include "hash/multihash.h"
 #include "hw/approx_divider.h"
 
 namespace coco::core {
@@ -43,6 +46,7 @@ class HwCocoSketch {
   };
 
   static constexpr size_t kMaxD = 8;
+  static constexpr size_t kBatchWindow = 32;
 
   static constexpr size_t BucketBytes() {
     return Key::kSize + sizeof(uint32_t);
@@ -54,7 +58,7 @@ class HwCocoSketch {
       : d_(d),
         l_(memory_bytes / (d * BucketBytes())),
         division_(division),
-        hash_(seed),
+        hash_(seed, d_, l_ == 0 ? 1 : l_),
         rng_(seed ^ 0x5eedf11d),
         buckets_(d_ * l_) {
     COCO_CHECK(d_ >= 1 && d_ <= kMaxD, "d out of range");
@@ -62,28 +66,48 @@ class HwCocoSketch {
   }
 
   void Update(const Key& key, uint32_t weight) {
-    for (size_t i = 0; i < d_; ++i) {
-      Bucket& b = buckets_[Slot(i, key)];
-      // Value stage: unconditional increment — no dependence on the key.
-      b.value += weight;
-      if (b.key == key) continue;  // matching key needs no replacement draw
-      // Key stage: replace w.p. weight / V_new via reciprocal comparison,
-      // exactly as the hardware pipelines execute it.
-      const uint32_t recip =
-          division_ == DivisionMode::kExact
-              ? hw::ApproxDivider::ExactReciprocal(b.value)
-              : hw::ApproxDivider::Reciprocal(b.value);
-      const uint64_t threshold = static_cast<uint64_t>(recip) * weight;
-      if (static_cast<uint64_t>(rng_.Next32()) < threshold) {
-        b.key = key;
+    uint32_t slot[kMaxD];
+    hash_.Slots(key.data(), key.size(), slot);
+    size_t idx[kMaxD];
+    for (size_t i = 0; i < d_; ++i) idx[i] = i * l_ + slot[i];
+    UpdateAt(idx, key, weight);
+  }
+
+  // Batched fast path, mirroring CocoSketch::UpdateBatch: hash + prefetch a
+  // window of kBatchWindow packets, then run the scalar per-array logic in
+  // stream order (state byte-identical to scalar Update calls).
+  template <typename Record>
+  void UpdateBatch(const Record* records, size_t count) {
+    size_t idx[kBatchWindow][kMaxD];
+    for (size_t base = 0; base < count; base += kBatchWindow) {
+      const size_t n =
+          count - base < kBatchWindow ? count - base : kBatchWindow;
+      for (size_t j = 0; j < n; ++j) {
+        const Key& key = records[base + j].key;
+        uint32_t slot[kMaxD];
+        hash_.Slots(key.data(), key.size(), slot);
+        for (size_t i = 0; i < d_; ++i) {
+          idx[j][i] = i * l_ + slot[i];
+          __builtin_prefetch(&buckets_[idx[j][i]], 1, 3);
+        }
+      }
+      for (size_t j = 0; j < n; ++j) {
+        UpdateAt(idx[j], records[base + j].key, records[base + j].weight);
       }
     }
+  }
+
+  template <typename Record>
+  void UpdateBatch(std::span<const Record> batch) {
+    UpdateBatch(batch.data(), batch.size());
   }
 
   // Per-array estimate: V if the key owns its mapped bucket, else 0
   // (the estimator of Lemma 4).
   uint64_t EstimateInArray(size_t array, const Key& key) const {
-    const Bucket& b = buckets_[Slot(array, key)];
+    uint32_t slot[kMaxD];
+    hash_.Slots(key.data(), key.size(), slot);
+    const Bucket& b = buckets_[array * l_ + slot[array]];
     return (b.value != 0 && b.key == key) ? b.value : 0;
   }
 
@@ -94,11 +118,13 @@ class HwCocoSketch {
   // as 0. The strictly unbiased Lemma-4 estimator (0 for absent arrays) is
   // available per array via EstimateInArray.
   uint64_t Query(const Key& key) const {
+    uint32_t slot[kMaxD];
+    hash_.Slots(key.data(), key.size(), slot);
     uint64_t est[kMaxD];
     size_t recorded = 0;
     for (size_t i = 0; i < d_; ++i) {
-      const uint64_t e = EstimateInArray(i, key);
-      if (e != 0) est[recorded++] = e;
+      const Bucket& b = buckets_[i * l_ + slot[i]];
+      if (b.value != 0 && b.key == key) est[recorded++] = b.value;
     }
     return recorded == 0 ? 0 : Median(est, recorded);
   }
@@ -108,8 +134,13 @@ class HwCocoSketch {
   // analysis); under-reports flows recorded in fewer than d/2 arrays, which
   // is why the reporting path above conditions on recorded arrays instead.
   uint64_t UnbiasedQuery(const Key& key) const {
+    uint32_t slot[kMaxD];
+    hash_.Slots(key.data(), key.size(), slot);
     uint64_t est[kMaxD];
-    for (size_t i = 0; i < d_; ++i) est[i] = EstimateInArray(i, key);
+    for (size_t i = 0; i < d_; ++i) {
+      const Bucket& b = buckets_[i * l_ + slot[i]];
+      est[i] = (b.value != 0 && b.key == key) ? b.value : 0;
+    }
     return Median(est, d_);
   }
 
@@ -139,20 +170,69 @@ class HwCocoSketch {
   size_t l() const { return l_; }
   DivisionMode division() const { return division_; }
 
+  // Same flat control-plane image format as CocoSketch::SerializeState
+  // (geometry header + key bytes + 32-bit value per bucket).
+  std::vector<uint8_t> SerializeState() const {
+    std::vector<uint8_t> out;
+    out.reserve(16 + buckets_.size() * BucketBytes());
+    uint8_t header[16];
+    StoreBE64(header, d_);
+    StoreBE64(header + 8, l_);
+    out.insert(out.end(), header, header + 16);
+    for (const Bucket& b : buckets_) {
+      out.insert(out.end(), b.key.data(), b.key.data() + Key::kSize);
+      uint8_t value[4];
+      StoreBE32(value, b.value);
+      out.insert(out.end(), value, value + 4);
+    }
+    return out;
+  }
+
+  bool RestoreState(const std::vector<uint8_t>& image) {
+    if (image.size() != 16 + buckets_.size() * BucketBytes()) return false;
+    if (LoadBE64(image.data()) != d_ || LoadBE64(image.data() + 8) != l_) {
+      return false;
+    }
+    const uint8_t* p = image.data() + 16;
+    for (Bucket& b : buckets_) {
+      std::memcpy(b.key.data(), p, Key::kSize);
+      b.value = LoadBE32(p + Key::kSize);
+      p += BucketBytes();
+    }
+    return true;
+  }
+
  private:
   static uint64_t Median(uint64_t* v, size_t n) {
     std::sort(v, v + n);
     return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2;
   }
 
-  size_t Slot(size_t array, const Key& key) const {
-    return array * l_ + hash_(array, key.data(), key.size()) % l_;
+  // The §4.2 per-array rule on precomputed absolute bucket indices; shared
+  // by Update and UpdateBatch so the two paths cannot drift.
+  void UpdateAt(const size_t* idx, const Key& key, uint32_t weight) {
+    for (size_t i = 0; i < d_; ++i) {
+      Bucket& b = buckets_[idx[i]];
+      // Value stage: unconditional increment — no dependence on the key.
+      b.value += weight;
+      if (b.key == key) continue;  // matching key needs no replacement draw
+      // Key stage: replace w.p. weight / V_new via reciprocal comparison,
+      // exactly as the hardware pipelines execute it.
+      const uint32_t recip =
+          division_ == DivisionMode::kExact
+              ? hw::ApproxDivider::ExactReciprocal(b.value)
+              : hw::ApproxDivider::Reciprocal(b.value);
+      const uint64_t threshold = static_cast<uint64_t>(recip) * weight;
+      if (static_cast<uint64_t>(rng_.Next32()) < threshold) {
+        b.key = key;
+      }
+    }
   }
 
   size_t d_;
   size_t l_;
   DivisionMode division_;
-  hash::HashFamily hash_;
+  hash::MultiHash hash_;
   Rng rng_;
   std::vector<Bucket> buckets_;
 };

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -49,6 +50,30 @@ class ShardedCocoSketch {
   // error since a flow's mass is never split).
   size_t ShardOf(const Key& key) const {
     return key.Hash(0x51a2d) % shards_.size();
+  }
+
+  // Batched update into one worker's shard — the receive-queue arrangement:
+  // each worker thread drains its ring into its own shard.
+  template <typename Record>
+  void UpdateBatch(size_t shard_index, std::span<const Record> batch) {
+    shards_[shard_index]->UpdateBatch(batch.data(), batch.size());
+  }
+
+  // Flow-routed batched update: scatters the batch by ShardOf(key), then
+  // runs each shard's group through its batched fast path. Grouping
+  // preserves per-shard arrival order, so each shard's state is
+  // byte-identical to routing the packets one at a time (single-caller use;
+  // concurrent callers must use the per-shard overload above).
+  template <typename Record>
+  void UpdateBatchByKey(std::span<const Record> batch) {
+    std::vector<std::vector<Record>> groups(shards_.size());
+    for (auto& g : groups) g.reserve(batch.size() / shards_.size() + 1);
+    for (const Record& r : batch) groups[ShardOf(r.key)].push_back(r);
+    for (size_t s = 0; s < groups.size(); ++s) {
+      if (!groups[s].empty()) {
+        shards_[s]->UpdateBatch(groups[s].data(), groups[s].size());
+      }
+    }
   }
 
   // Control plane: merged (FullKey, Size) table across all shards.

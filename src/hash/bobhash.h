@@ -27,20 +27,38 @@ uint64_t HashU64(uint64_t value, uint64_t seed);
 // address arrays with `family(i, key_bytes, len) % width`.
 class HashFamily {
  public:
-  explicit HashFamily(uint64_t seed = 0x5ee3u) : seed_(seed) {}
+  explicit HashFamily(uint64_t seed = 0x5ee3u) : seed_(seed) {
+    // Derived per-index seeds are precomputed once here; the previous
+    // implementation re-ran the splitmix mix on every call, which showed up
+    // in every sketch's per-packet hash cost.
+    for (size_t i = 0; i < kPrecomputedSeeds; ++i) {
+      derived_[i] = DeriveSeed(seed_, i);
+    }
+  }
 
   uint32_t operator()(size_t i, const void* data, size_t len) const {
-    // Mix the index into the seed with a splitmix-style step so adjacent
-    // indices give unrelated hash functions.
-    uint64_t s = seed_ + 0x9e3779b97f4a7c15ULL * (i + 1);
-    s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    return BobHash32(data, len, static_cast<uint32_t>(s ^ (s >> 32)));
+    const uint32_t s =
+        i < kPrecomputedSeeds ? derived_[i] : DeriveSeed(seed_, i);
+    return BobHash32(data, len, s);
   }
 
   uint64_t seed() const { return seed_; }
 
  private:
+  // Covers every sketch in the library (max depth is UnivMon's level count);
+  // larger indices fall back to deriving on the fly with identical output.
+  static constexpr size_t kPrecomputedSeeds = 32;
+
+  // Mix the index into the seed with a splitmix-style step so adjacent
+  // indices give unrelated hash functions.
+  static uint32_t DeriveSeed(uint64_t seed, size_t i) {
+    uint64_t s = seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+    s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<uint32_t>(s ^ (s >> 32));
+  }
+
   uint64_t seed_;
+  uint32_t derived_[kPrecomputedSeeds];
 };
 
 }  // namespace coco::hash

@@ -24,6 +24,7 @@ struct DatapathConfig {
   bool with_sketch = true;         // false = plain forwarding ("OVS w/o")
   size_t sketch_memory_bytes = 512 * 1024;  // split across queues
   size_t ring_capacity = 4096;     // slots per SPSC ring
+  size_t drain_batch = 32;         // max packets popped per consumer poll
   uint64_t seed = 0x0f5;
 };
 
@@ -31,6 +32,13 @@ struct DatapathResult {
   double mpps = 0.0;               // end-to-end drained packet rate
   uint64_t packets_processed = 0;
   double measurement_cpu_fraction = 0.0;  // time spent in sketch updates
+  // Batched-drain statistics: measurement threads pop up to
+  // DatapathConfig::drain_batch packets per poll and feed them to
+  // UpdateBatch in one call. avg_batch_fill is packets per non-empty drain —
+  // near 1.0 when the consumer outruns the NIC (poll-bound), approaching
+  // drain_batch under backlog (update-bound).
+  uint64_t batches_drained = 0;    // non-empty PopBatch calls
+  double avg_batch_fill = 0.0;
   // Control-plane view: the per-queue sketch partitions decoded and merged
   // (empty when with_sketch is false).
   std::unordered_map<FiveTuple, uint64_t> merged_table;

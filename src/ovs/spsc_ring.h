@@ -38,6 +38,26 @@ class SpscRing {
     return true;
   }
 
+  // Consumer side, batched: pops up to `max` elements into `out`, returning
+  // the number popped (0 when empty). One acquire load and one release store
+  // amortized over the whole batch — the per-element atomic traffic of
+  // TryPop is the other half of the drain cost that batching removes.
+  size_t PopBatch(T* out, size_t max) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t available = cached_head_ - tail;
+    if (available == 0) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      available = cached_head_ - tail;
+      if (available == 0) return 0;
+    }
+    const size_t n = available < max ? available : max;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = slots_[(tail + i) & mask_];
+    }
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
   // Consumer side. Returns false when the ring is empty.
   bool TryPop(T& out) {
     const size_t tail = tail_.load(std::memory_order_relaxed);

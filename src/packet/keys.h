@@ -31,8 +31,22 @@ struct FixedKey {
   uint8_t* data() { return bytes.data(); }
   static constexpr size_t size() { return N; }
 
+  // Word-wise equality: the bucket-probe hot loop compares a packet key
+  // against d candidate bucket keys per packet, so this compiles to 1-2
+  // unaligned 64-bit loads per side for N <= 16 (overlapping loads for
+  // 8 < N < 16) instead of std::array's byte-wise compare.
   friend bool operator==(const FixedKey& a, const FixedKey& b) {
-    return a.bytes == b.bytes;
+    if constexpr (N == 0) {
+      return true;
+    } else if constexpr (N <= 8) {
+      return LoadNative(a.bytes.data(), N) == LoadNative(b.bytes.data(), N);
+    } else if constexpr (N <= 16) {
+      return LoadNative64(a.bytes.data()) == LoadNative64(b.bytes.data()) &&
+             LoadNative64(a.bytes.data() + N - 8) ==
+                 LoadNative64(b.bytes.data() + N - 8);
+    } else {
+      return a.bytes == b.bytes;
+    }
   }
 
   uint64_t Hash(uint64_t seed = 0) const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hash/bobhash.h"
+#include "hash/multihash.h"
 
 namespace coco::hash {
 namespace {
@@ -122,6 +123,119 @@ TEST(HashFamily, PairwiseRowIndependenceProxy) {
     cells.insert({family(0, &i, sizeof(i)) % 16, family(1, &i, sizeof(i)) % 16});
   }
   EXPECT_EQ(cells.size(), 256u);
+}
+
+TEST(MultiHash, DeterministicAndSeeded) {
+  MultiHash a(42, 4, 1024), b(42, 4, 1024), c(43, 4, 1024);
+  const char* key = "flowkey";
+  uint32_t sa[4], sb[4], sc[4];
+  a.Slots(key, 7, sa);
+  b.Slots(key, 7, sb);
+  c.Slots(key, 7, sc);
+  bool seed_differs = false;
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sa[i], sb[i]);
+    EXPECT_LT(sa[i], 1024u);
+    seed_differs |= sa[i] != sc[i];
+  }
+  EXPECT_TRUE(seed_differs);
+}
+
+TEST(MultiHash, PerArrayUniformity) {
+  // Unbiasedness of the index derivation: for each of the d arrays, the
+  // derived slot over many distinct keys must be uniform over the width.
+  // Chi-squared over 64 cells, 63 dof, 99.9th percentile ~103.
+  const size_t buckets = 64, d = 4, n = 64000;
+  MultiHash mh(0x5eed, d, buckets);
+  std::vector<std::vector<size_t>> histogram(d,
+                                             std::vector<size_t>(buckets, 0));
+  for (size_t k = 0; k < n; ++k) {
+    uint64_t key = k * 0x9e3779b97f4a7c15ULL;
+    uint32_t slot[4];
+    mh.Slots(&key, sizeof(key), slot);
+    for (size_t i = 0; i < d; ++i) ++histogram[i][slot[i]];
+  }
+  const double expected = static_cast<double>(n) / buckets;
+  for (size_t i = 0; i < d; ++i) {
+    double chi2 = 0;
+    for (size_t c : histogram[i]) {
+      const double diff = static_cast<double>(c) - expected;
+      chi2 += diff * diff / expected;
+    }
+    EXPECT_LT(chi2, 110.0) << "array " << i;
+  }
+}
+
+TEST(MultiHash, PerArrayUniformityOverPartialKeys) {
+  // CocoSketch hashes both full 5-tuples (13 bytes) and DynKey partial keys
+  // of varying length; the derivation must stay unbiased for every key
+  // shape. Build keys of lengths 1..16 from a structured counter.
+  const size_t buckets = 32, d = 3;
+  MultiHash mh(0x10ad, d, buckets);
+  std::vector<std::vector<size_t>> histogram(d,
+                                             std::vector<size_t>(buckets, 0));
+  size_t n = 0;
+  // Lengths 3..16 so every (length, counter) pair is a distinct key: the
+  // counter fits in the low 3 bytes, so keys within a stratum never repeat
+  // (repeats would double-count samples and void the chi-squared model).
+  for (size_t len = 3; len <= 16; ++len) {
+    for (uint32_t k = 0; k < 4000; ++k) {
+      uint8_t buf[16] = {};
+      const uint64_t v = (static_cast<uint64_t>(len) << 48) + k;
+      std::memcpy(buf, &v, len < 8 ? len : 8);
+      uint32_t slot[3];
+      mh.Slots(buf, len, slot);
+      for (size_t i = 0; i < d; ++i) ++histogram[i][slot[i]];
+      ++n;
+    }
+  }
+  const double expected = static_cast<double>(n) / buckets;
+  for (size_t i = 0; i < d; ++i) {
+    double chi2 = 0;
+    for (size_t c : histogram[i]) {
+      const double diff = static_cast<double>(c) - expected;
+      chi2 += diff * diff / expected;
+    }
+    // 31 dof, 99.9th percentile ~61.1.
+    EXPECT_LT(chi2, 65.0) << "array " << i;
+  }
+}
+
+TEST(MultiHash, JointSpreadAcrossArrays) {
+  // The d-choice rule degrades if arrays are lockstep-correlated: the joint
+  // distribution of (slot0, slot1) over many keys must cover all cells, as
+  // the HashFamily pairwise test requires of independent rows.
+  MultiHash mh(31337, 2, 16);
+  std::set<std::pair<uint32_t, uint32_t>> cells;
+  for (uint64_t i = 0; i < 8192; ++i) {
+    uint32_t slot[2];
+    mh.Slots(&i, sizeof(i), slot);
+    cells.insert({slot[0], slot[1]});
+  }
+  EXPECT_EQ(cells.size(), 256u);
+}
+
+TEST(MultiHash, OnePassMatchesRepeatedCalls) {
+  // Slots is a pure function of (seed, key): repeated calls and fresh
+  // instances agree, which the batched update path relies on.
+  MultiHash mh(7, 4, 977);
+  uint8_t key[13] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  uint32_t first[4], again[4];
+  mh.Slots(key, sizeof(key), first);
+  mh.Slots(key, sizeof(key), again);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(first[i], again[i]);
+}
+
+TEST(HashFamily, PrecomputedSeedsMatchDerivedFallback) {
+  // Indices beyond the precomputed window must produce the same function as
+  // the precomputed ones do for their index — i.e. the family is consistent
+  // regardless of which path computed the seed.
+  HashFamily family(0xfeed);
+  const char* data = "some key bytes";
+  // Same input, many indices: all distinct outputs (no seed collapse).
+  std::set<uint32_t> outputs;
+  for (size_t i = 0; i < 40; ++i) outputs.insert(family(i, data, 14));
+  EXPECT_EQ(outputs.size(), 40u);
 }
 
 }  // namespace

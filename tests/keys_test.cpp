@@ -208,5 +208,42 @@ TEST(PrefixSpec, HierarchyNests) {
   }
 }
 
+// Word-wise FixedKey equality (1-2 unaligned 64-bit loads for N <= 16) must
+// agree with byte-wise comparison for every differing-byte position —
+// especially inside the overlap region of the two loads for 8 < N < 16.
+TEST(FixedKeyEquality, EveryBytePositionDistinguishes) {
+  auto check = [](auto key_tag) {
+    using K = decltype(key_tag);
+    K a{}, b{};
+    for (size_t i = 0; i < K::kSize; ++i) a.bytes[i] = static_cast<uint8_t>(i + 1);
+    b = a;
+    EXPECT_TRUE(a == b);
+    for (size_t i = 0; i < K::kSize; ++i) {
+      K c = a;
+      c.bytes[i] ^= 0x80;
+      EXPECT_FALSE(a == c) << "size=" << K::kSize << " byte=" << i;
+      EXPECT_FALSE(c == a) << "size=" << K::kSize << " byte=" << i;
+    }
+  };
+  check(FixedKey<1>{});
+  check(FixedKey<4>{});   // IPv4Key width: single sub-word load
+  check(FixedKey<8>{});   // IpPairKey width: exactly one 64-bit load
+  check(FixedKey<13>{});  // FiveTuple width: overlapping loads (bytes 5-7
+                          // covered by both)
+  check(FixedKey<16>{});  // two exact loads
+  check(FixedKey<20>{});  // fallback byte-wise path
+}
+
+TEST(FixedKeyEquality, FiveTupleSemanticAgreement) {
+  const FiveTuple a(0x0a000001, 0x0a000002, 80, 443, 6);
+  const FiveTuple same(0x0a000001, 0x0a000002, 80, 443, 6);
+  FiveTuple proto_differs = a;
+  proto_differs.bytes[12] = 17;  // last byte: only seen by the second load
+  EXPECT_TRUE(a == same);
+  EXPECT_FALSE(a == proto_differs);
+  EXPECT_EQ(a == same, a.bytes == same.bytes);
+  EXPECT_EQ(a == proto_differs, a.bytes == proto_differs.bytes);
+}
+
 }  // namespace
 }  // namespace coco

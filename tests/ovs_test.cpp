@@ -59,6 +59,62 @@ TEST(SpscRing, TwoThreadStressPreservesSequence) {
   EXPECT_FALSE(ring.TryPop(value));
 }
 
+TEST(SpscRing, PopBatchDrainsInOrder) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(ring.TryPush(i));
+  int out[16];
+  // Batch smaller than occupancy: partial drain.
+  EXPECT_EQ(ring.PopBatch(out, 4), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+  // Batch larger than occupancy: returns what's there.
+  EXPECT_EQ(ring.PopBatch(out, 16), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(out[i], i + 4);
+  EXPECT_EQ(ring.PopBatch(out, 16), 0u);  // empty
+}
+
+TEST(SpscRing, PopBatchInteroperatesWithTryPop) {
+  SpscRing<int> ring(8);
+  int out[8];
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(ring.TryPush(3 * round));
+    ASSERT_TRUE(ring.TryPush(3 * round + 1));
+    ASSERT_TRUE(ring.TryPush(3 * round + 2));
+    int single;
+    ASSERT_TRUE(ring.TryPop(single));
+    EXPECT_EQ(single, 3 * round);
+    ASSERT_EQ(ring.PopBatch(out, 8), 2u);
+    EXPECT_EQ(out[0], 3 * round + 1);
+    EXPECT_EQ(out[1], 3 * round + 2);
+  }
+}
+
+TEST(SpscRing, PopBatchTwoThreadStressPreservesSequence) {
+  SpscRing<uint64_t> ring(256);
+  constexpr uint64_t kCount = 300'000;
+  std::thread producer([&ring] {
+    for (uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.TryPush(i)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  uint64_t expected = 0;
+  uint64_t batch[32];
+  while (expected < kCount) {
+    const size_t n = ring.PopBatch(batch, 32);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batch[i], expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(ring.PopBatch(batch, 32), 0u);
+}
+
 TEST(Datapath, ProcessesEveryPacket) {
   trace::TraceConfig config = trace::TraceConfig::CaidaLike(50000);
   const auto trace = trace::GenerateTrace(config);
@@ -120,6 +176,39 @@ TEST(Datapath, NoSketchMeansNoTable) {
   dp.nic_rate_mpps = 1000.0;
   const auto result = RunDatapath(dp, trace);
   EXPECT_TRUE(result.merged_table.empty());
+}
+
+TEST(Datapath, ReportsBatchFillStatistics) {
+  trace::TraceConfig config = trace::TraceConfig::CaidaLike(40000);
+  const auto trace = trace::GenerateTrace(config);
+  DatapathConfig dp;
+  dp.num_queues = 2;
+  dp.nic_rate_mpps = 1000.0;  // unpaced: consumer sees backlog, batches fill
+  dp.drain_batch = 32;
+  const auto result = RunDatapath(dp, trace);
+  EXPECT_EQ(result.packets_processed, trace.size());
+  EXPECT_GT(result.batches_drained, 0u);
+  EXPECT_GE(result.avg_batch_fill, 1.0);
+  EXPECT_LE(result.avg_batch_fill, 32.0);
+  // Consistency: packets = batches * average fill.
+  EXPECT_NEAR(result.avg_batch_fill * static_cast<double>(
+                                          result.batches_drained),
+              static_cast<double>(result.packets_processed), 0.5);
+}
+
+TEST(Datapath, DrainBatchOfOneStillProcessesEverything) {
+  trace::TraceConfig config = trace::TraceConfig::CaidaLike(20000);
+  const auto trace = trace::GenerateTrace(config);
+  DatapathConfig dp;
+  dp.num_queues = 1;
+  dp.nic_rate_mpps = 1000.0;
+  dp.drain_batch = 1;  // degenerate batching == per-packet drain
+  const auto result = RunDatapath(dp, trace);
+  EXPECT_EQ(result.packets_processed, trace.size());
+  EXPECT_DOUBLE_EQ(result.avg_batch_fill, 1.0);
+  uint64_t mass = 0;
+  for (const auto& [key, size] : result.merged_table) mass += size;
+  EXPECT_EQ(mass, trace.size());
 }
 
 TEST(Datapath, MeasurementOverheadIsSmall) {
