@@ -32,8 +32,25 @@ int main() {
               static_cast<unsigned long long>(result.packets_processed));
   std::printf("  rate     : %.2f Mpps (NIC cap %.1f)\n", result.mpps,
               config.nic_rate_mpps);
-  std::printf("  upd CPU  : %.2f%% of measurement-thread cycles\n\n",
+  std::printf("  upd CPU  : %.2f%% of measurement-thread cycles\n",
               100.0 * result.measurement_cpu_fraction);
+
+  // Health section: the fault-tolerance layer's accounting. In this
+  // fault-free backpressure run everything lands in `exact`, and
+  // exact + degraded + dropped always reconstructs the offered count.
+  const ovs::DatapathHealth& h = result.health;
+  std::printf("  health   : exact %llu, degraded %llu (%.2f%%), dropped %llu\n",
+              static_cast<unsigned long long>(h.packets_exact),
+              static_cast<unsigned long long>(h.packets_degraded),
+              100.0 * h.degraded_fraction,
+              static_cast<unsigned long long>(h.rx_dropped));
+  std::printf("  faults   : stalls %llu (detected %llu), kills %llu, "
+              "restores %llu, est. lost %llu\n\n",
+              static_cast<unsigned long long>(h.stalls_injected),
+              static_cast<unsigned long long>(h.stalls_detected),
+              static_cast<unsigned long long>(h.kills_injected),
+              static_cast<unsigned long long>(h.restores),
+              static_cast<unsigned long long>(h.packets_lost_estimate));
 
   // The datapath decodes and merges its shared-nothing partitions on exit —
   // query the merged control-plane table directly.

@@ -23,6 +23,7 @@
 #include "common/bytes.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/state_image.h"
 #include "hash/multihash.h"
 
 namespace coco::core {
@@ -142,32 +143,32 @@ class CocoSketch {
     return total;
   }
 
-  // Control-plane readout: a flat image of the bucket state (geometry header
-  // + key bytes + 32-bit value per bucket), the payload a switch would ship
-  // to the controller. RestoreState() rejects images whose geometry does not
-  // match this instance.
+  // Control-plane readout: a flat image of the bucket state (checksummed
+  // geometry header + key bytes + 32-bit value per bucket, see
+  // core/state_image.h), the payload a switch would ship to the controller —
+  // and the checkpoint format the OVS datapath recovers from.
   std::vector<uint8_t> SerializeState() const {
-    std::vector<uint8_t> out;
-    out.reserve(16 + buckets_.size() * BucketBytes());
-    uint8_t header[16];
-    StoreBE64(header, d_);
-    StoreBE64(header + 8, l_);
-    out.insert(out.end(), header, header + 16);
+    std::vector<uint8_t> out(kStateHeaderBytes);
+    out.reserve(kStateHeaderBytes + buckets_.size() * BucketBytes());
     for (const Bucket& b : buckets_) {
       out.insert(out.end(), b.key.data(), b.key.data() + Key::kSize);
       uint8_t value[4];
       StoreBE32(value, b.value);
       out.insert(out.end(), value, value + 4);
     }
+    SealStateImage(d_, l_, &out);
     return out;
   }
 
+  // Rejects truncated, geometry-mismatched, and bit-flipped images without
+  // touching any bucket — a failed restore leaves the sketch exactly as it
+  // was.
   bool RestoreState(const std::vector<uint8_t>& image) {
-    if (image.size() != 16 + buckets_.size() * BucketBytes()) return false;
-    if (LoadBE64(image.data()) != d_ || LoadBE64(image.data() + 8) != l_) {
+    if (!ValidateStateImage(image, d_, l_,
+                            buckets_.size() * BucketBytes())) {
       return false;
     }
-    const uint8_t* p = image.data() + 16;
+    const uint8_t* p = image.data() + kStateHeaderBytes;
     for (Bucket& b : buckets_) {
       std::memcpy(b.key.data(), p, Key::kSize);
       b.value = LoadBE32(p + Key::kSize);

@@ -27,6 +27,7 @@
 #include "common/bytes.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/state_image.h"
 #include "hash/multihash.h"
 #include "hw/approx_divider.h"
 
@@ -170,30 +171,29 @@ class HwCocoSketch {
   size_t l() const { return l_; }
   DivisionMode division() const { return division_; }
 
-  // Same flat control-plane image format as CocoSketch::SerializeState
-  // (geometry header + key bytes + 32-bit value per bucket).
+  // Same checksummed control-plane image format as
+  // CocoSketch::SerializeState (core/state_image.h).
   std::vector<uint8_t> SerializeState() const {
-    std::vector<uint8_t> out;
-    out.reserve(16 + buckets_.size() * BucketBytes());
-    uint8_t header[16];
-    StoreBE64(header, d_);
-    StoreBE64(header + 8, l_);
-    out.insert(out.end(), header, header + 16);
+    std::vector<uint8_t> out(kStateHeaderBytes);
+    out.reserve(kStateHeaderBytes + buckets_.size() * BucketBytes());
     for (const Bucket& b : buckets_) {
       out.insert(out.end(), b.key.data(), b.key.data() + Key::kSize);
       uint8_t value[4];
       StoreBE32(value, b.value);
       out.insert(out.end(), value, value + 4);
     }
+    SealStateImage(d_, l_, &out);
     return out;
   }
 
+  // Rejects truncated, geometry-mismatched, and bit-flipped images without
+  // touching any bucket.
   bool RestoreState(const std::vector<uint8_t>& image) {
-    if (image.size() != 16 + buckets_.size() * BucketBytes()) return false;
-    if (LoadBE64(image.data()) != d_ || LoadBE64(image.data() + 8) != l_) {
+    if (!ValidateStateImage(image, d_, l_,
+                            buckets_.size() * BucketBytes())) {
       return false;
     }
-    const uint8_t* p = image.data() + 16;
+    const uint8_t* p = image.data() + kStateHeaderBytes;
     for (Bucket& b : buckets_) {
       std::memcpy(b.key.data(), p, Key::kSize);
       b.value = LoadBE32(p + Key::kSize);

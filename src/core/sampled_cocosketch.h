@@ -23,50 +23,55 @@
 
 namespace coco::core {
 
-template <typename Key>
-class SampledCocoSketch {
+// The sampling state on its own: geometric skip countdown plus unbiased
+// weight compensation. Extracted from SampledCocoSketch so other layers can
+// apply the identical compensation logic to any sketch — the OVS datapath's
+// graceful-degradation ladder runs one of these per measurement thread while
+// overloaded (src/ovs/degrade.h).
+class SamplingGate {
  public:
-  SampledCocoSketch(size_t memory_bytes, double sample_probability,
-                    size_t d = 2, uint64_t seed = 0xc0c2)
-      : probability_(sample_probability),
-        inverse_(1.0 / sample_probability),
-        sketch_(memory_bytes, d, seed),
-        rng_(seed ^ 0x5a3b1e) {
-    COCO_CHECK(sample_probability > 0.0 && sample_probability <= 1.0,
+  SamplingGate(double probability, uint64_t seed)
+      : probability_(probability),
+        inverse_(1.0 / probability),
+        seed_(seed),
+        rng_(seed) {
+    COCO_CHECK(probability > 0.0 && probability <= 1.0,
                "sample probability out of (0, 1]");
     countdown_ = NextGap();
   }
 
-  void Update(const Key& key, uint32_t weight) {
-    if (probability_ >= 1.0) {
-      sketch_.Update(key, weight);
-      return;
-    }
+  // True when the current packet should be processed. Skips cost no RNG
+  // draw — the geometric countdown is where the speedup comes from.
+  bool Admit() {
+    if (probability_ >= 1.0) return true;
     if (countdown_ > 0) {
       --countdown_;
-      return;
+      return false;
     }
     countdown_ = NextGap();
-    // Scale the weight so the inserted mass stays unbiased; round the
-    // fractional part stochastically to keep integer counters unbiased too.
+    return true;
+  }
+
+  // Weight an admitted packet must carry so every flow's expected inserted
+  // mass equals its true mass: w/p, fractional part rounded stochastically
+  // to keep integer counters unbiased too.
+  uint32_t CompensatedWeight(uint32_t weight) {
+    if (probability_ >= 1.0) return weight;
     const double scaled = static_cast<double>(weight) * inverse_;
     const uint32_t base = static_cast<uint32_t>(scaled);
     const double frac = scaled - static_cast<double>(base);
-    sketch_.Update(key, base + (rng_.Bernoulli(frac) ? 1 : 0));
+    return base + (rng_.Bernoulli(frac) ? 1 : 0);
   }
 
-  uint64_t Query(const Key& key) const { return sketch_.Query(key); }
-
-  std::unordered_map<Key, uint64_t> Decode() const { return sketch_.Decode(); }
-
-  void Clear() {
-    sketch_.Clear();
+  // Rewinds the gate to its as-constructed state: the decision sequence
+  // replays from the start, so a Clear()ed sketch is indistinguishable from
+  // a freshly built one.
+  void Reset() {
+    rng_.Seed(seed_);
     countdown_ = NextGap();
   }
 
-  size_t MemoryBytes() const { return sketch_.MemoryBytes(); }
-  double sample_probability() const { return probability_; }
-  const CocoSketch<Key>& inner() const { return sketch_; }
+  double probability() const { return probability_; }
 
  private:
   // Geometric(p) gap: number of packets to skip before the next processed
@@ -79,9 +84,40 @@ class SampledCocoSketch {
 
   double probability_;
   double inverse_;
-  CocoSketch<Key> sketch_;
+  uint64_t seed_;
   Rng rng_;
   uint64_t countdown_ = 0;
+};
+
+template <typename Key>
+class SampledCocoSketch {
+ public:
+  SampledCocoSketch(size_t memory_bytes, double sample_probability,
+                    size_t d = 2, uint64_t seed = 0xc0c2)
+      : gate_(sample_probability, seed ^ 0x5a3b1e),
+        sketch_(memory_bytes, d, seed) {}
+
+  void Update(const Key& key, uint32_t weight) {
+    if (!gate_.Admit()) return;
+    sketch_.Update(key, gate_.CompensatedWeight(weight));
+  }
+
+  uint64_t Query(const Key& key) const { return sketch_.Query(key); }
+
+  std::unordered_map<Key, uint64_t> Decode() const { return sketch_.Decode(); }
+
+  void Clear() {
+    sketch_.Clear();
+    gate_.Reset();
+  }
+
+  size_t MemoryBytes() const { return sketch_.MemoryBytes(); }
+  double sample_probability() const { return gate_.probability(); }
+  const CocoSketch<Key>& inner() const { return sketch_; }
+
+ private:
+  SamplingGate gate_;
+  CocoSketch<Key> sketch_;
 };
 
 }  // namespace coco::core

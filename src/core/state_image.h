@@ -1,0 +1,51 @@
+// Checksummed control-plane state images, shared by the sketch variants.
+//
+// Layout: | d (8 BE) | l (8 BE) | checksum (8 BE) | body |. The checksum is
+// Hash64 over the body seeded with the geometry, so truncation, geometry
+// mismatches, and bit flips anywhere in the image are all detected before a
+// single byte reaches a live sketch. The OVS datapath's checkpoint/restore
+// recovery leans on this: a corrupt checkpoint must be rejected cleanly so
+// recovery can fall back to an older image instead of resurrecting garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "hash/bobhash.h"
+
+namespace coco::core {
+
+inline constexpr size_t kStateHeaderBytes = 24;
+inline constexpr uint64_t kStateChecksumSeed = 0x57a7ec0c0ULL;
+
+inline uint64_t StateChecksum(uint64_t d, uint64_t l, const uint8_t* body,
+                              size_t body_len) {
+  return hash::Hash64(body, body_len, kStateChecksumSeed ^ (d << 32) ^ l);
+}
+
+// Fills the header of an image whose body already sits after the first
+// kStateHeaderBytes bytes.
+inline void SealStateImage(uint64_t d, uint64_t l,
+                           std::vector<uint8_t>* image) {
+  StoreBE64(image->data(), d);
+  StoreBE64(image->data() + 8, l);
+  StoreBE64(image->data() + 16,
+            StateChecksum(d, l, image->data() + kStateHeaderBytes,
+                          image->size() - kStateHeaderBytes));
+}
+
+// Full validation (size, geometry, checksum). Restore paths call this before
+// touching any sketch state, so a rejected image leaves the sketch intact.
+inline bool ValidateStateImage(const std::vector<uint8_t>& image, uint64_t d,
+                               uint64_t l, size_t body_bytes) {
+  if (image.size() != kStateHeaderBytes + body_bytes) return false;
+  if (LoadBE64(image.data()) != d || LoadBE64(image.data() + 8) != l) {
+    return false;
+  }
+  return LoadBE64(image.data() + 16) ==
+         StateChecksum(d, l, image.data() + kStateHeaderBytes, body_bytes);
+}
+
+}  // namespace coco::core

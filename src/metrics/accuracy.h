@@ -66,6 +66,18 @@ Accuracy ScoreThreshold(const std::unordered_map<Key, uint64_t>& estimates,
   return acc;
 }
 
+// Total recorded mass of a flow table. This is the conservation observable
+// the robustness layer accounts against (docs/ROBUSTNESS.md): a lossless
+// exact run conserves offered mass exactly, and after a crash recovery the
+// merged table's mass must sit within the reported bounded-loss estimate of
+// the fault-free run's.
+template <typename Key>
+uint64_t TotalMass(const std::unordered_map<Key, uint64_t>& table) {
+  uint64_t total = 0;
+  for (const auto& [key, size] : table) total += size;
+  return total;
+}
+
 // Averages a set of per-key accuracies (the paper reports the mean over the
 // six partial keys).
 Accuracy MeanAccuracy(const std::vector<Accuracy>& parts);

@@ -1,12 +1,17 @@
 #include "ovs/datapath_sim.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 #include "common/check.h"
 #include "common/cycle_clock.h"
-#include "ovs/spsc_ring.h"
+#include "core/sampled_cocosketch.h"
+#include "ovs/degrade.h"
+#include "ovs/watchdog.h"
 #include "query/flow_table.h"
 
 namespace coco::ovs {
@@ -18,6 +23,27 @@ namespace {
 struct WireRecord {
   FiveTuple key;
   uint32_t weight;
+};
+
+// Consumer lifecycle, advanced by the consumer itself and observed by the
+// watchdog and the main thread. kExited means the thread died without
+// finishing its queue (injected kill) and needs a respawn; kDone means the
+// queue is fully drained.
+constexpr int kRunning = 0;
+constexpr int kExited = 1;
+constexpr int kDone = 2;
+
+// Everything the fault-tolerance layer shares per queue. Not movable
+// (atomics, mutex, thread), so RunDatapath holds these behind unique_ptr.
+struct QueueState {
+  std::atomic<uint64_t> progress{0};  // packets drained (exact + degraded)
+  std::atomic<uint64_t> exact{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<int> status{kRunning};
+  CheckpointStore checkpoints;
+  uint64_t checkpoint_seq = 0;  // consumer-only; respawns are sequential
+  std::mutex thread_mu;         // guards `thread` handle swaps
+  std::thread thread;           // current consumer thread for this queue
 };
 
 }  // namespace
@@ -53,23 +79,43 @@ DatapathResult RunDatapath(const DatapathConfig& config,
     }
   }
 
+  std::vector<std::unique_ptr<QueueState>> queue_state;
+  queue_state.reserve(queues);
+  for (size_t q = 0; q < queues; ++q) {
+    queue_state.push_back(std::make_unique<QueueState>());
+  }
+
+  FaultInjector injector(config.faults);
+  const bool have_faults = !config.faults.Empty();
+  // A killed consumer with no watchdog would hang a backpressured producer
+  // forever, so kills force the watchdog on.
+  uint64_t watchdog_ms = config.watchdog_timeout_ms;
+  if (watchdog_ms == 0 && !config.faults.kills.empty()) watchdog_ms = 200;
+
   std::atomic<uint64_t> issued{0};     // NIC token accounting
   std::vector<std::atomic<bool>> producer_done(queues);
   for (auto& f : producer_done) f.store(false);
 
-  std::atomic<uint64_t> processed{0};
   std::atomic<uint64_t> update_cycles{0};
   std::atomic<uint64_t> busy_cycles{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> enter_events{0};
+  std::atomic<uint64_t> stalls_detected{0};
+  std::atomic<uint64_t> checkpoints_taken{0};
+  std::atomic<uint64_t> checkpoints_rejected{0};
+  std::atomic<uint64_t> restores{0};
+  std::atomic<uint64_t> packets_lost{0};
 
   Stopwatch wall;
   const double rate_pps = config.nic_rate_mpps * 1e6;
+  const bool drop_mode = config.overflow == OverflowPolicy::kDropNewest;
 
-  std::vector<std::thread> threads;
-  threads.reserve(queues * 2);
+  std::vector<std::thread> producers;
+  producers.reserve(queues);
 
   // Producers: pace against the shared NIC rate, then push into their ring.
   for (size_t q = 0; q < queues; ++q) {
-    threads.emplace_back([&, q] {
+    producers.emplace_back([&, q] {
       for (const WireRecord& rec : striped[q]) {
         const uint64_t my_slot = issued.fetch_add(1, std::memory_order_relaxed);
         // Wait until the NIC would have delivered packet `my_slot`. The
@@ -79,8 +125,13 @@ DatapathResult RunDatapath(const DatapathConfig& config,
                wall.ElapsedSeconds() * rate_pps) {
           std::this_thread::yield();
         }
-        while (!rings[q]->TryPush(rec)) {
-          std::this_thread::yield();  // ring full: receive-queue backpressure
+        if (drop_mode) {
+          // kDropNewest: a full ring costs the packet, never the wire.
+          rings[q]->PushOrDrop(rec);
+        } else {
+          while (!rings[q]->TryPush(rec)) {
+            std::this_thread::yield();  // ring full: receive-queue backpressure
+          }
         }
       }
       producer_done[q].store(true, std::memory_order_release);
@@ -90,50 +141,211 @@ DatapathResult RunDatapath(const DatapathConfig& config,
   // Measurement threads: drain the ring in batches and feed the sketch's
   // batched fast path — one PopBatch (one acquire/release pair) and one
   // UpdateBatch (hash+prefetch pipeline) per poll instead of per packet.
-  std::atomic<uint64_t> batches{0};
+  // Under overload the degradation ladder swaps the exact batch update for
+  // sampled per-packet updates with compensated weights; see
+  // docs/ROBUSTNESS.md. `restore_first` is the crash-recovery entry: the
+  // respawned consumer first rebuilds its sketch from the newest checkpoint
+  // that passes validation.
   const size_t drain_batch = config.drain_batch < 1 ? 1 : config.drain_batch;
-  for (size_t q = 0; q < queues; ++q) {
-    threads.emplace_back([&, q] {
-      uint64_t local_processed = 0;
-      uint64_t local_update = 0;
-      uint64_t local_batches = 0;
-      const uint64_t thread_begin = ReadCycleCounter();
-      std::vector<WireRecord> batch(drain_batch);
-      const auto drain_once = [&]() -> size_t {
-        const size_t n = rings[q]->PopBatch(batch.data(), drain_batch);
-        if (n == 0) return 0;
-        if (config.with_sketch) {
-          const uint64_t t0 = ReadCycleCounter();
-          sketches[q]->UpdateBatch(batch.data(), n);
-          local_update += ReadCycleCounter() - t0;
-        }
-        local_processed += n;
-        ++local_batches;
-        return n;
-      };
-      for (;;) {
-        if (drain_once() != 0) continue;
-        std::this_thread::yield();  // empty poll: let the producer run
-        if (producer_done[q].load(std::memory_order_acquire)) {
-          // Drain whatever raced in after the flag flipped.
-          while (drain_once() != 0) {
-          }
+  const auto consumer_fn = [&](size_t q, bool restore_first) {
+    QueueState& qs = *queue_state[q];
+    uint64_t local_progress = qs.progress.load(std::memory_order_relaxed);
+
+    if (restore_first && config.with_sketch) {
+      // The dead consumer's in-memory sketch died with it (in the real
+      // topology the measurement process is gone); rebuild from the newest
+      // checkpoint whose checksum validates, falling back once, else start
+      // empty. Packets drained after the restored image was taken are the
+      // bounded loss reported to the control plane.
+      bool restored = false;
+      for (const auto& image : qs.checkpoints.Candidates()) {
+        if (sketches[q]->RestoreState(image.bytes)) {
+          packets_lost.fetch_add(local_progress - image.progress,
+                                 std::memory_order_relaxed);
+          restored = true;
           break;
         }
+        checkpoints_rejected.fetch_add(1, std::memory_order_relaxed);
       }
-      processed.fetch_add(local_processed, std::memory_order_relaxed);
+      if (!restored) {
+        sketches[q]->Clear();
+        packets_lost.fetch_add(local_progress, std::memory_order_relaxed);
+      }
+    }
+
+    DegradeLadder ladder(config.degrade_high_watermark,
+                         config.degrade_low_watermark, rings[q]->capacity());
+    std::optional<core::SamplingGate> gate;
+    if (config.degrade_enabled) {
+      gate.emplace(config.degrade_sample_prob,
+                   config.seed ^ (0xdeadbeefULL + q * 0x9e3779b9ULL));
+    }
+
+    uint64_t local_exact = 0;
+    uint64_t local_degraded = 0;
+    uint64_t local_update = 0;
+    uint64_t local_batches = 0;
+    uint64_t last_checkpoint = local_progress;
+    const uint64_t thread_begin = ReadCycleCounter();
+    std::vector<WireRecord> batch(drain_batch);
+
+    const auto flush = [&] {
+      qs.exact.fetch_add(local_exact, std::memory_order_relaxed);
+      qs.degraded.fetch_add(local_degraded, std::memory_order_relaxed);
       update_cycles.fetch_add(local_update, std::memory_order_relaxed);
       batches.fetch_add(local_batches, std::memory_order_relaxed);
+      enter_events.fetch_add(ladder.enter_events(),
+                             std::memory_order_relaxed);
       busy_cycles.fetch_add(ReadCycleCounter() - thread_begin,
                             std::memory_order_relaxed);
+    };
+
+    const auto drain_once = [&]() -> size_t {
+      // Occupancy is sampled before the pop so the ladder sees the backlog
+      // this batch was drained from.
+      const size_t occupancy =
+          config.degrade_enabled ? rings[q]->SizeApprox() : 0;
+      const size_t n = rings[q]->PopBatch(batch.data(), drain_batch);
+      if (n == 0) return 0;
+      const bool degraded_mode =
+          config.degrade_enabled && ladder.OnOccupancy(occupancy);
+      if (config.with_sketch) {
+        const uint64_t t0 = ReadCycleCounter();
+        if (degraded_mode) {
+          for (size_t i = 0; i < n; ++i) {
+            if (gate->Admit()) {
+              sketches[q]->Update(batch[i].key,
+                                  gate->CompensatedWeight(batch[i].weight));
+            }
+          }
+        } else {
+          sketches[q]->UpdateBatch(batch.data(), n);
+        }
+        local_update += ReadCycleCounter() - t0;
+      }
+      (degraded_mode ? local_degraded : local_exact) += n;
+      local_progress += n;
+      qs.progress.store(local_progress, std::memory_order_relaxed);
+      ++local_batches;
+      if (config.with_sketch && config.checkpoint_interval != 0 &&
+          local_progress - last_checkpoint >= config.checkpoint_interval) {
+        auto image = sketches[q]->SerializeState();
+        const uint64_t seq = ++qs.checkpoint_seq;
+        injector.MaybeCorrupt(q, seq, &image);
+        qs.checkpoints.Put(seq, local_progress, std::move(image));
+        checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
+        last_checkpoint = local_progress;
+      }
+      return n;
+    };
+
+    // Injected faults fire at batch boundaries (deterministic in drained
+    // packets, not wall time). Returns true when this consumer must die.
+    const auto fault_hooks = [&]() -> bool {
+      if (!have_faults) return false;
+      if (const uint32_t ms = injector.StallMs(q, local_progress)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+      return injector.ShouldKill(q, local_progress);
+    };
+
+    for (;;) {
+      const size_t n = drain_once();
+      if (n != 0) {
+        if (fault_hooks()) {
+          flush();
+          qs.status.store(kExited, std::memory_order_release);
+          return;
+        }
+        continue;
+      }
+      std::this_thread::yield();  // empty poll: let the producer run
+      if (producer_done[q].load(std::memory_order_acquire)) {
+        // Drain whatever raced in after the flag flipped.
+        while (drain_once() != 0) {
+          if (fault_hooks()) {
+            flush();
+            qs.status.store(kExited, std::memory_order_release);
+            return;
+          }
+        }
+        break;
+      }
+    }
+    flush();
+    qs.status.store(kDone, std::memory_order_release);
+  };
+
+  for (size_t q = 0; q < queues; ++q) {
+    std::lock_guard<std::mutex> lock(queue_state[q]->thread_mu);
+    queue_state[q]->thread = std::thread(consumer_fn, q, false);
+  }
+
+  // Watchdog: tracks per-queue progress, flags stalls, and respawns dead
+  // consumers from their checkpoints. Join-before-respawn keeps each ring
+  // single-consumer at all times.
+  std::atomic<bool> stop_watchdog{false};
+  std::thread watchdog;
+  if (watchdog_ms > 0) {
+    watchdog = std::thread([&] {
+      std::vector<StallDetector> detectors;
+      detectors.reserve(queues);
+      for (size_t q = 0; q < queues; ++q) detectors.emplace_back(watchdog_ms);
+      Stopwatch clock;
+      while (!stop_watchdog.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        const uint64_t now_ms =
+            static_cast<uint64_t>(clock.ElapsedSeconds() * 1e3);
+        for (size_t q = 0; q < queues; ++q) {
+          QueueState& qs = *queue_state[q];
+          const int status = qs.status.load(std::memory_order_acquire);
+          if (status == kExited) {
+            std::lock_guard<std::mutex> lock(qs.thread_mu);
+            if (qs.thread.joinable()) qs.thread.join();
+            restores.fetch_add(1, std::memory_order_relaxed);
+            qs.status.store(kRunning, std::memory_order_release);
+            qs.thread = std::thread(consumer_fn, q, true);
+          } else if (status == kRunning) {
+            const bool pending =
+                !producer_done[q].load(std::memory_order_acquire) ||
+                rings[q]->SizeApprox() != 0;
+            if (detectors[q].Observe(
+                    qs.progress.load(std::memory_order_relaxed), now_ms,
+                    pending)) {
+              stalls_detected.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
     });
   }
 
-  for (auto& t : threads) t.join();
+  for (auto& t : producers) t.join();
+  // Wait for every queue to finish draining; the watchdog keeps respawning
+  // dead consumers until each one reports kDone.
+  for (size_t q = 0; q < queues; ++q) {
+    while (queue_state[q]->status.load(std::memory_order_acquire) != kDone) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  stop_watchdog.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
+  for (size_t q = 0; q < queues; ++q) {
+    std::lock_guard<std::mutex> lock(queue_state[q]->thread_mu);
+    if (queue_state[q]->thread.joinable()) queue_state[q]->thread.join();
+  }
   const double seconds = wall.ElapsedSeconds();
 
   DatapathResult result;
-  result.packets_processed = processed.load();
+  uint64_t total_exact = 0;
+  uint64_t total_degraded = 0;
+  uint64_t total_dropped = 0;
+  for (size_t q = 0; q < queues; ++q) {
+    total_exact += queue_state[q]->exact.load();
+    total_degraded += queue_state[q]->degraded.load();
+    total_dropped += rings[q]->rx_dropped();
+  }
+  result.packets_processed = total_exact + total_degraded;
   result.mpps = static_cast<double>(result.packets_processed) / seconds / 1e6;
   result.batches_drained = batches.load();
   result.avg_batch_fill =
@@ -146,6 +358,25 @@ DatapathResult RunDatapath(const DatapathConfig& config,
           ? 0.0
           : static_cast<double>(update_cycles.load()) /
                 static_cast<double>(busy_cycles.load());
+
+  DatapathHealth& health = result.health;
+  health.rx_dropped = total_dropped;
+  health.packets_exact = total_exact;
+  health.packets_degraded = total_degraded;
+  health.degraded_fraction =
+      result.packets_processed == 0
+          ? 0.0
+          : static_cast<double>(total_degraded) /
+                static_cast<double>(result.packets_processed);
+  health.degrade_enter_events = enter_events.load();
+  health.stalls_injected = injector.stalls_fired();
+  health.kills_injected = injector.kills_fired();
+  health.stalls_detected = stalls_detected.load();
+  health.checkpoints_taken = checkpoints_taken.load();
+  health.checkpoints_rejected = checkpoints_rejected.load();
+  health.restores = restores.load();
+  health.packets_lost_estimate = packets_lost.load();
+
   if (config.with_sketch) {
     std::vector<query::FlowTable<FiveTuple>> partitions;
     partitions.reserve(sketches.size());

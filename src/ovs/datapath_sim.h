@@ -7,6 +7,13 @@
 // decode time). The NIC line rate is modeled as a global token bucket shared
 // by the producers; the measured throughput therefore saturates at the NIC
 // cap once enough threads are added — the shape of Fig. 15(a).
+//
+// On top of that sits a fault-tolerance layer (docs/ROBUSTNESS.md): ring
+// overflow policies, a graceful-degradation ladder that trades accuracy for
+// headroom under overload, periodic sketch checkpoints, and a watchdog that
+// detects stalled or dead consumers and respawns them from the last good
+// checkpoint. Faults themselves are scripted deterministically via FaultPlan
+// (src/ovs/fault.h) so every recovery path is testable.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,8 @@
 #include <vector>
 
 #include "core/cocosketch.h"
+#include "ovs/fault.h"
+#include "ovs/spsc_ring.h"
 #include "packet/keys.h"
 
 namespace coco::ovs {
@@ -26,11 +35,63 @@ struct DatapathConfig {
   size_t ring_capacity = 4096;     // slots per SPSC ring
   size_t drain_batch = 32;         // max packets popped per consumer poll
   uint64_t seed = 0x0f5;
+
+  // --- fault-tolerance knobs (defaults preserve the original lossless,
+  // exact behavior) ---
+
+  // Producer behavior on a full ring: backpressure (spin) or drop + count.
+  OverflowPolicy overflow = OverflowPolicy::kBackpressure;
+
+  // Graceful-degradation ladder: when ring occupancy crosses
+  // high_watermark * capacity, the measurement thread switches to sampled
+  // updates (probability degrade_sample_prob, weights compensated by 1/p so
+  // estimates stay unbiased), and steps back to exact updates once occupancy
+  // falls below low_watermark * capacity.
+  bool degrade_enabled = false;
+  double degrade_high_watermark = 0.75;
+  double degrade_low_watermark = 0.25;
+  double degrade_sample_prob = 0.25;
+
+  // Periodic checkpointing: every `checkpoint_interval` packets drained, a
+  // queue serializes its sketch for crash recovery. 0 = off.
+  uint64_t checkpoint_interval = 0;
+
+  // Watchdog poll timeout: a consumer whose progress counter is frozen this
+  // long while work remains is declared stalled; a dead one is respawned
+  // from its last checkpoint. 0 = watchdog off (auto-enabled at 200 ms when
+  // the fault plan injects kills — a killed consumer with no watchdog would
+  // hang a backpressured producer forever).
+  uint64_t watchdog_timeout_ms = 0;
+
+  // Scripted faults (empty plan = fault-free run).
+  FaultPlan faults;
+};
+
+// Robustness observability: every counter the fault-tolerance layer
+// maintains. In a fault-free, non-degraded run all fields stay zero except
+// packets_exact.
+struct DatapathHealth {
+  uint64_t rx_dropped = 0;         // producer drops (kDropNewest only)
+  uint64_t packets_exact = 0;      // drained + applied at full fidelity
+  uint64_t packets_degraded = 0;   // drained while the ladder was engaged
+  double degraded_fraction = 0.0;  // degraded / (exact + degraded)
+  uint64_t degrade_enter_events = 0;  // exact -> degraded transitions
+  uint64_t stalls_injected = 0;       // FaultPlan stalls that fired
+  uint64_t kills_injected = 0;        // FaultPlan kills that fired
+  uint64_t stalls_detected = 0;       // watchdog stall detections
+  uint64_t checkpoints_taken = 0;
+  uint64_t checkpoints_rejected = 0;  // restore candidates failing checksum
+  uint64_t restores = 0;              // consumer respawns by the watchdog
+  // Upper bound on measurement loss from crash recovery: packets drained
+  // after the restored checkpoint was taken (their sketch state died with
+  // the consumer). The merged table's total is >= fault-free total minus
+  // this bound.
+  uint64_t packets_lost_estimate = 0;
 };
 
 struct DatapathResult {
   double mpps = 0.0;               // end-to-end drained packet rate
-  uint64_t packets_processed = 0;
+  uint64_t packets_processed = 0;  // exact + degraded (excludes rx drops)
   double measurement_cpu_fraction = 0.0;  // time spent in sketch updates
   // Batched-drain statistics: measurement threads pop up to
   // DatapathConfig::drain_batch packets per poll and feed them to
@@ -39,13 +100,16 @@ struct DatapathResult {
   // drain_batch under backlog (update-bound).
   uint64_t batches_drained = 0;    // non-empty PopBatch calls
   double avg_batch_fill = 0.0;
+  DatapathHealth health;
   // Control-plane view: the per-queue sketch partitions decoded and merged
   // (empty when with_sketch is false).
   std::unordered_map<FiveTuple, uint64_t> merged_table;
 };
 
 // Runs the trace through the simulated datapath and reports throughput.
-// The trace is striped round-robin across queues (RSS stand-in).
+// The trace is striped round-robin across queues (RSS stand-in). Guaranteed
+// to terminate for any FaultPlan: drops never block producers, and killed
+// consumers are respawned by the watchdog.
 DatapathResult RunDatapath(const DatapathConfig& config,
                            const std::vector<Packet>& trace);
 

@@ -1,0 +1,145 @@
+// Deterministic fault injection for the OVS datapath.
+//
+// The paper's deployment (§6, Appendix B) runs measurement as a separate
+// process fed by shared-memory rings, so slow and dead consumers are normal
+// operating conditions, not exceptional ones. A FaultPlan scripts those
+// conditions — stall a consumer, kill it mid-run, corrupt a checkpoint
+// image — keyed to per-queue drain progress rather than wall-clock time, so
+// every failure path is reproducible in CI.
+//
+// Threading contract: each fault targets one queue, and FaultInjector state
+// for a fault is only read/written by that queue's consumer thread (consumer
+// respawns are sequential: the watchdog joins the dead thread before
+// starting its replacement). Fired-event totals are atomics so the control
+// plane can read them from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace coco::ovs {
+
+// Consumer stall: once queue `queue`'s consumer has drained `after_packets`
+// packets, it sleeps for `duration_ms` before touching the ring again — a
+// descheduled / GC-paused / IO-blocked measurement process.
+struct StallFault {
+  size_t queue = 0;
+  uint64_t after_packets = 0;
+  uint32_t duration_ms = 0;
+};
+
+// Consumer death: the measurement thread exits without draining its ring or
+// flushing its sketch — a crashed measurement process. Recovery is the
+// watchdog's job.
+struct KillFault {
+  size_t queue = 0;
+  uint64_t after_packets = 0;
+};
+
+// Checkpoint corruption: the `seq`-th checkpoint image (1-based) taken by
+// `queue` gets seeded bit flips before it is stored — a torn shared-memory
+// write or bad sector. RestoreState must reject it via its checksum.
+struct CorruptFault {
+  size_t queue = 0;
+  uint64_t seq = 0;
+};
+
+struct FaultPlan {
+  uint64_t seed = 0xfa010;
+  std::vector<StallFault> stalls;
+  std::vector<KillFault> kills;
+  std::vector<CorruptFault> corruptions;
+
+  bool Empty() const {
+    return stalls.empty() && kills.empty() && corruptions.empty();
+  }
+};
+
+// Runtime for a FaultPlan: answers "does a fault fire now?" from the hot
+// loop. Each fault fires at most once. Fired flags live in per-fault bytes
+// (not vector<bool> bits) so consumers of different queues never write the
+// same byte.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan),
+        stall_fired_(plan.stalls.size(), 0),
+        kill_fired_(plan.kills.size(), 0),
+        corrupt_fired_(plan.corruptions.size(), 0) {}
+
+  // Called by queue `queue`'s consumer with its drain progress; returns the
+  // stall to serve now in milliseconds (0 = none).
+  uint32_t StallMs(size_t queue, uint64_t processed) {
+    for (size_t i = 0; i < plan_.stalls.size(); ++i) {
+      const StallFault& f = plan_.stalls[i];
+      if (f.queue == queue && stall_fired_[i] == 0 &&
+          processed >= f.after_packets) {
+        stall_fired_[i] = 1;
+        stalls_fired_.fetch_add(1, std::memory_order_relaxed);
+        return f.duration_ms;
+      }
+    }
+    return 0;
+  }
+
+  // True when queue `queue`'s consumer should die at this batch boundary.
+  bool ShouldKill(size_t queue, uint64_t processed) {
+    for (size_t i = 0; i < plan_.kills.size(); ++i) {
+      const KillFault& f = plan_.kills[i];
+      if (f.queue == queue && kill_fired_[i] == 0 &&
+          processed >= f.after_packets) {
+        kill_fired_[i] = 1;
+        kills_fired_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Applies seeded bit flips to `image` when checkpoint `seq` of `queue` is
+  // marked for corruption. Returns whether it fired. Deterministic: the flip
+  // positions depend only on the plan seed, queue, and seq.
+  bool MaybeCorrupt(size_t queue, uint64_t seq, std::vector<uint8_t>* image) {
+    for (size_t i = 0; i < plan_.corruptions.size(); ++i) {
+      const CorruptFault& f = plan_.corruptions[i];
+      if (f.queue == queue && corrupt_fired_[i] == 0 && f.seq == seq) {
+        corrupt_fired_[i] = 1;
+        corruptions_fired_.fetch_add(1, std::memory_order_relaxed);
+        if (!image->empty()) {
+          Rng rng(plan_.seed ^ (queue * 0x9e3779b97f4a7c15ULL) ^ seq);
+          for (int flip = 0; flip < 3; ++flip) {
+            (*image)[rng.NextBelow(image->size())] ^=
+                static_cast<uint8_t>(1 + rng.NextBelow(255));
+          }
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  uint64_t stalls_fired() const {
+    return stalls_fired_.load(std::memory_order_relaxed);
+  }
+  uint64_t kills_fired() const {
+    return kills_fired_.load(std::memory_order_relaxed);
+  }
+  uint64_t corruptions_fired() const {
+    return corruptions_fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultPlan plan_;
+  std::vector<uint8_t> stall_fired_;
+  std::vector<uint8_t> kill_fired_;
+  std::vector<uint8_t> corrupt_fired_;
+  std::atomic<uint64_t> stalls_fired_{0};
+  std::atomic<uint64_t> kills_fired_{0};
+  std::atomic<uint64_t> corruptions_fired_{0};
+};
+
+}  // namespace coco::ovs

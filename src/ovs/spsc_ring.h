@@ -11,11 +11,20 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/check.h"
 
 namespace coco::ovs {
+
+// What the producer does when its ring is full. Real receive queues drop on
+// overflow (the NIC never stalls the wire); backpressure is the simulation's
+// original lossless mode, useful when every packet must be accounted for.
+enum class OverflowPolicy {
+  kBackpressure,  // spin until a slot frees up — lossless, can stall
+  kDropNewest,    // count the packet in rx_dropped and move on — lossy, never blocks
+};
 
 template <typename T>
 class SpscRing {
@@ -36,6 +45,31 @@ class SpscRing {
     slots_[head & mask_] = value;
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  // Producer side, kDropNewest policy: push if there is room, otherwise
+  // count the record as dropped and return false. Never blocks or retries —
+  // the overload contract a real NIC rx queue gives.
+  bool PushOrDrop(const T& value) {
+    if (TryPush(value)) return true;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Packets dropped by PushOrDrop. Readable from any thread.
+  uint64_t rx_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Approximate occupancy, callable from any thread (watermark checks, the
+  // watchdog's work-pending test). Reading tail before head keeps the
+  // difference non-negative: tail never passes the head value read later.
+  // Clamped to capacity because the producer may push between the two loads.
+  size_t SizeApprox() const {
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t n = head - tail;
+    return n > slots_.size() ? slots_.size() : n;
   }
 
   // Consumer side, batched: pops up to `max` elements into `out`, returning
@@ -73,6 +107,7 @@ class SpscRing {
   size_t capacity() const { return slots_.size(); }
 
  private:
+  alignas(64) std::atomic<uint64_t> dropped_{0};
   alignas(64) std::atomic<size_t> head_{0};
   alignas(64) size_t cached_tail_ = 0;   // producer-local
   alignas(64) std::atomic<size_t> tail_{0};

@@ -69,9 +69,23 @@ std::vector<Packet> ReadTrace(const std::string& path, bool* ok) {
   uint64_t count = 0;
   if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return trace;
 
-  // Never trust the claimed count for the allocation: a corrupted header
-  // must not trigger a huge reserve. Grow naturally beyond the cap.
-  trace.reserve(static_cast<size_t>(std::min<uint64_t>(count, 1u << 20)));
+  // Validate the claimed count against the bytes actually present before
+  // allocating anything: a corrupt count field must not drive a multi-GB
+  // reserve (or a doomed read loop). The writer emits exactly
+  // count * kRecordSize payload bytes after the 16-byte header.
+  const long header_end = std::ftell(f.get());
+  if (header_end < 0 || std::fseek(f.get(), 0, SEEK_END) != 0) return trace;
+  const long file_end = std::ftell(f.get());
+  if (file_end < header_end ||
+      std::fseek(f.get(), header_end, SEEK_SET) != 0) {
+    return trace;
+  }
+  const uint64_t payload = static_cast<uint64_t>(file_end - header_end);
+  if (count > payload / kRecordSize || count * kRecordSize != payload) {
+    return trace;
+  }
+
+  trace.reserve(static_cast<size_t>(count));
   std::vector<uint8_t> buf(kRecordSize);
   for (uint64_t i = 0; i < count; ++i) {
     if (std::fread(buf.data(), 1, kRecordSize, f.get()) != kRecordSize) {

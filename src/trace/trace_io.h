@@ -16,7 +16,9 @@ namespace coco::trace {
 bool WriteTrace(const std::string& path, const std::vector<Packet>& trace);
 
 // Reads a trace written by WriteTrace. Returns an empty vector and sets
-// *ok=false on failure or malformed input.
+// *ok=false on failure or malformed input; the claimed packet count is
+// validated against the actual file size before any allocation, so a
+// corrupt header can neither trigger a huge reserve nor hide truncation.
 std::vector<Packet> ReadTrace(const std::string& path, bool* ok);
 
 }  // namespace coco::trace

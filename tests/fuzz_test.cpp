@@ -4,8 +4,13 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
+#include "core/cocosketch.h"
+#include "core/hw_cocosketch.h"
+#include "core/state_image.h"
+#include "packet/keys.h"
 #include "query/sql.h"
 #include "trace/trace_io.h"
 
@@ -93,6 +98,69 @@ TEST(TraceIoFuzz, RandomFilesRejected) {
     if (!ok) EXPECT_TRUE(packets.empty());
   }
   std::remove(path.c_str());
+}
+
+// Shared harness for the two sketch variants: build a populated sketch,
+// serialize it, then confirm that truncated, bit-flipped, and garbage images
+// are all rejected by RestoreState *without disturbing the live state* —
+// the watchdog restores from checkpoint images that an injected fault may
+// have corrupted, so a rejected restore must leave the sketch usable.
+template <typename Sketch>
+void FuzzStateImages(uint64_t seed) {
+  Sketch sketch(32 * 1024);
+  Rng rng(seed);
+  for (int i = 0; i < 5000; ++i) {
+    const FiveTuple key(static_cast<uint32_t>(rng.Next()),
+                        static_cast<uint32_t>(rng.Next()),
+                        static_cast<uint16_t>(rng.NextBelow(1024)),
+                        static_cast<uint16_t>(rng.NextBelow(1024)),
+                        static_cast<uint8_t>(rng.NextBelow(2)));
+    sketch.Update(key, 1 + static_cast<uint32_t>(rng.NextBelow(16)));
+  }
+  const std::vector<uint8_t> good = sketch.SerializeState();
+  ASSERT_GT(good.size(), core::kStateHeaderBytes);
+
+  // Truncations: every prefix shorter than the full image must be rejected.
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len = rng.NextBelow(good.size());  // strictly shorter
+    std::vector<uint8_t> cut(good.begin(),
+                             good.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_FALSE(sketch.RestoreState(cut)) << "accepted truncation to " << len;
+  }
+  EXPECT_EQ(sketch.SerializeState(), good) << "rejected restore mutated state";
+
+  // Bit flips: any single flipped bit lands in the body (checksum mismatch),
+  // the geometry words (d/l mismatch), or the checksum field itself.
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> flipped = good;
+    const size_t bit = rng.NextBelow(flipped.size() * 8);
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(sketch.RestoreState(flipped)) << "accepted flip of bit "
+                                               << bit;
+  }
+  EXPECT_EQ(sketch.SerializeState(), good);
+
+  // Random garbage of assorted sizes, including exactly-right-sized blobs.
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len =
+        trial % 4 == 0 ? good.size() : rng.NextBelow(2 * good.size());
+    std::vector<uint8_t> junk(len);
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.NextBelow(256));
+    EXPECT_FALSE(sketch.RestoreState(junk));
+  }
+  EXPECT_EQ(sketch.SerializeState(), good);
+
+  // After all those rejections the pristine image must still restore.
+  EXPECT_TRUE(sketch.RestoreState(good));
+  EXPECT_EQ(sketch.SerializeState(), good);
+}
+
+TEST(StateImageFuzz, CocoSketchRejectsCorruptImages) {
+  FuzzStateImages<core::CocoSketch<FiveTuple>>(0xf026);
+}
+
+TEST(StateImageFuzz, HwCocoSketchRejectsCorruptImages) {
+  FuzzStateImages<core::HwCocoSketch<FiveTuple>>(0xf027);
 }
 
 TEST(TraceIoFuzz, CorruptedHeaderCountRejected) {

@@ -1,6 +1,8 @@
 // Tests for the NitroSketch-style sampling front-end.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/sizes.h"
 #include "core/sampled_cocosketch.h"
 #include "packet/keys.h"
@@ -82,6 +84,56 @@ TEST(SampledCoco, ClearResetsState) {
 TEST(SampledCoco, RejectsBadProbability) {
   EXPECT_DEATH(SampledCocoSketch<IPv4Key>(KiB(16), 0.0), "probability");
   EXPECT_DEATH(SampledCocoSketch<IPv4Key>(KiB(16), 1.5), "probability");
+}
+
+// The gate is also used standalone by the datapath's degradation ladder
+// (ovs/datapath_sim.cpp), so its contract gets direct coverage.
+TEST(SamplingGate, SameSeedSameDecisions) {
+  SamplingGate a(0.25, 77), b(0.25, 77);
+  for (int i = 0; i < 20000; ++i) {
+    const bool admit_a = a.Admit();
+    ASSERT_EQ(admit_a, b.Admit()) << "diverged at packet " << i;
+    if (admit_a) ASSERT_EQ(a.CompensatedWeight(3), b.CompensatedWeight(3));
+  }
+}
+
+TEST(SamplingGate, CompensatedMassIsUnbiased) {
+  // Sum of compensated weights over admitted packets estimates the offered
+  // mass: E[sum] = n * w for every p.
+  const int n = 200000;
+  for (double p : {0.5, 0.25, 0.1}) {
+    SamplingGate gate(p, 13);
+    uint64_t admitted = 0, mass = 0;
+    for (int i = 0; i < n; ++i) {
+      if (!gate.Admit()) continue;
+      ++admitted;
+      mass += gate.CompensatedWeight(1);
+    }
+    EXPECT_NEAR(static_cast<double>(admitted), p * n, 0.05 * p * n)
+        << "p=" << p;
+    EXPECT_NEAR(static_cast<double>(mass), static_cast<double>(n),
+                0.03 * static_cast<double>(n))
+        << "p=" << p;
+  }
+}
+
+TEST(SamplingGate, ProbabilityOneAdmitsEverythingUnscaled) {
+  SamplingGate gate(1.0, 5);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(gate.Admit());
+    ASSERT_EQ(gate.CompensatedWeight(7), 7u);
+  }
+}
+
+TEST(SamplingGate, ResetRestartsTheDecisionSequence) {
+  SamplingGate gate(0.3, 21);
+  std::vector<bool> first;
+  for (int i = 0; i < 5000; ++i) first.push_back(gate.Admit());
+  gate.Reset();
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(gate.Admit(), first[static_cast<size_t>(i)])
+        << "diverged at packet " << i;
+  }
 }
 
 }  // namespace
