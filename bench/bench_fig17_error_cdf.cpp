@@ -11,11 +11,14 @@ namespace {
 void PrintCdfTail(const std::string& name,
                   const std::vector<uint64_t>& sorted_errors) {
   std::printf("%-10s", name.c_str());
+  // QuantileOr: an empty error sample (empty ground-truth table, e.g. a
+  // zero-packet COCO_BENCH_PACKETS run) prints a zeroed row instead of
+  // tripping Quantile's non-empty precondition.
   for (double q : {0.95, 0.96, 0.97, 0.98, 0.99, 0.999}) {
     std::printf(" %8llu", static_cast<unsigned long long>(
-                              metrics::Quantile(sorted_errors, q)));
+                              metrics::QuantileOr(sorted_errors, q)));
   }
-  std::printf("\n");
+  std::printf(sorted_errors.empty() ? "  (no flows)\n" : "\n");
 }
 
 }  // namespace

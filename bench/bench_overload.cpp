@@ -17,6 +17,7 @@
 // mid-run is respawned from its last checkpoint, and recorded mass plus the
 // reported bounded-loss estimate reconstructs the offered mass exactly.
 #include "harness.h"
+#include "obs/snapshot.h"
 #include "ovs/datapath_sim.h"
 
 using namespace coco;
@@ -77,7 +78,10 @@ int main() {
   PrintRow("degr%", degraded_pct, " %8.2f");
   PrintRow("mass%", mass_pct, " %8.2f");
 
-  // Crash recovery: kill the consumer halfway, restore from checkpoint.
+  // Crash recovery: kill the consumer halfway, restore from checkpoint. The
+  // run publishes into a metrics registry so the accounting below can also be
+  // read back from counters alone (docs/OBSERVABILITY.md).
+  obs::Registry registry;
   ovs::DatapathConfig crash;
   crash.num_queues = 1;
   crash.nic_rate_mpps = 1000.0;
@@ -86,6 +90,7 @@ int main() {
   crash.checkpoint_interval = 4096;
   crash.watchdog_timeout_ms = 50;
   crash.faults.kills.push_back({0, trace.size() / 2});
+  crash.registry = &registry;
   const auto r = ovs::RunDatapath(crash, trace);
   const uint64_t mass = metrics::TotalMass(r.merged_table);
 
@@ -101,6 +106,24 @@ int main() {
   std::printf("checkpoints taken  %12llu, restores %llu\n",
               static_cast<unsigned long long>(r.health.checkpoints_taken),
               static_cast<unsigned long long>(r.health.restores));
+
+  // The same story from the registry: per-queue packet conservation plus the
+  // checkpoint byte volume, all from counters the datapath kept live.
+  const auto view = ovs::ReadConservation(&registry, crash.num_queues);
+  std::printf("registry conserve  %12llu = %llu exact + %llu degraded + "
+              "%llu dropped -> %s\n",
+              static_cast<unsigned long long>(view.offered),
+              static_cast<unsigned long long>(view.exact),
+              static_cast<unsigned long long>(view.degraded),
+              static_cast<unsigned long long>(view.rx_dropped),
+              view.Holds() ? "OK" : "VIOLATED");
+  std::printf("checkpoint bytes   %12llu\n",
+              static_cast<unsigned long long>(
+                  registry.GetCounter("ovs.q0.checkpoint_bytes")->Value()));
+
+  std::printf("\nmetrics snapshot of the crash run:\n%s\n",
+              obs::ToJson(obs::CaptureSnapshot(registry), /*pretty=*/false)
+                  .c_str());
 
   std::printf(
       "\nExpected shape: backpressure records 100%% of mass, pushing the\n"

@@ -8,12 +8,16 @@
 //       (what a data plane would ship to the controller)
 //   cocotool query <in.state> "<SQL>" [memoryKB] [d]
 //       restore the state and answer a §4.3 SQL query
+//   cocotool stats <in.state> [memoryKB] [d]
+//       restore the state and dump occupancy/load-factor introspection as a
+//       metrics-snapshot JSON (see docs/OBSERVABILITY.md)
 //
 // Example session:
 //   cocotool generate /tmp/t.cocotrc 500000
 //   cocotool measure /tmp/t.cocotrc /tmp/t.state 500 2
 //   cocotool query /tmp/t.state "SELECT SrcIP/16, SUM(Size) FROM flows \
 //       GROUP BY SrcIP/16 ORDER BY SUM(Size) DESC LIMIT 10" 500 2
+//   cocotool stats /tmp/t.state 500 2
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +27,8 @@
 
 #include "common/sizes.h"
 #include "core/cocosketch.h"
+#include "obs/sketch_metrics.h"
+#include "obs/snapshot.h"
 #include "query/sql.h"
 #include "trace/generators.h"
 #include "trace/trace_io.h"
@@ -36,7 +42,8 @@ int Usage() {
                "usage:\n"
                "  cocotool generate <out.cocotrc> [packets] [caida|mawi]\n"
                "  cocotool measure <in.cocotrc> <out.state> [memKB] [d]\n"
-               "  cocotool query <in.state> \"<SQL>\" [memKB] [d]\n");
+               "  cocotool query <in.state> \"<SQL>\" [memKB] [d]\n"
+               "  cocotool stats <in.state> [memKB] [d]\n");
   return 2;
 }
 
@@ -123,6 +130,28 @@ int RunQuery(int argc, char** argv) {
   return 0;
 }
 
+int Stats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::vector<uint8_t> image;
+  if (!ReadFile(argv[2], &image)) {
+    std::fprintf(stderr, "cannot read state %s\n", argv[2]);
+    return 1;
+  }
+  const size_t mem = KiB(argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 500);
+  const size_t d = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2;
+  core::CocoSketch<FiveTuple> sketch(mem, d);
+  if (!sketch.RestoreState(image)) {
+    std::fprintf(stderr,
+                 "state/geometry mismatch: pass the memKB and d used at "
+                 "measure time\n");
+    return 1;
+  }
+  obs::Registry registry;
+  obs::PublishSketchStats(&registry, "sketch", sketch.Stats());
+  std::fputs(obs::ToJson(obs::CaptureSnapshot(registry)).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -144,11 +173,16 @@ int main(int argc, char** argv) {
                    const_cast<char*>(
                        "SELECT SrcIP, SUM(Size) FROM flows GROUP BY SrcIP "
                        "ORDER BY SUM(Size) DESC LIMIT 5")};
-    return RunQuery(4, qry);
+    if (RunQuery(4, qry) != 0) return 1;
+    std::printf("\nsketch occupancy stats:\n");
+    char* sta[] = {argv[0], const_cast<char*>("stats"),
+                   const_cast<char*>(st.c_str())};
+    return Stats(3, sta);
   }
   const std::string cmd = argv[1];
   if (cmd == "generate") return Generate(argc, argv);
   if (cmd == "measure") return Measure(argc, argv);
   if (cmd == "query") return RunQuery(argc, argv);
+  if (cmd == "stats") return Stats(argc, argv);
   return Usage();
 }

@@ -1,43 +1,42 @@
 // Software-switch deployment example: CocoSketch behind an OVS-style
 // multi-threaded datapath (ring buffers + polling measurement threads, as in
 // Appendix B), with a NIC line-rate cap. Shows the end-to-end path from
-// packets on the wire to partial-key answers, plus the measurement CPU cost.
+// packets on the wire to partial-key answers, plus the measurement CPU cost
+// and the live observability layer (docs/OBSERVABILITY.md).
 //
-// Build & run:  ./build/examples/ovs_pipeline
+// Two runs:
+//   1. fault-free backpressure run — health counters all land in `exact`;
+//   2. faulted run (drop-newest ring, injected consumer stall, degradation
+//      ladder, checkpoints + a mid-run kill) — every robustness path fires,
+//      and the metrics registry still reconstructs the offered packet count
+//      from exact + degraded + rx_dropped per queue.
+//
+// Both runs publish into an obs::Registry; the final snapshot is exported
+// as JSON to stdout (or to the file given as argv[1]).
+//
+// Build & run:  ./build/examples/ovs_pipeline [metrics-out.json]
 #include <cstdio>
 
 #include "common/sizes.h"
 #include "core/cocosketch.h"
 #include "keys/key_spec.h"
+#include "obs/snapshot.h"
 #include "ovs/datapath_sim.h"
 #include "query/flow_table.h"
 #include "trace/generators.h"
 
 using namespace coco;
 
-int main() {
-  const auto packets =
-      trace::GenerateTrace(trace::TraceConfig::CaidaLike(400'000));
+namespace {
 
-  ovs::DatapathConfig config;
-  config.num_queues = 2;          // two Rx queues, two measurement threads
-  config.nic_rate_mpps = 13.0;    // 40GbE at the trace's mean packet size
-  config.with_sketch = true;
-  config.sketch_memory_bytes = KiB(512);
-
-  std::printf("running %zu packets through a %zu-queue datapath...\n",
-              packets.size(), config.num_queues);
-  const auto result = ovs::RunDatapath(config, packets);
+void PrintHealth(const ovs::DatapathResult& result,
+                 const ovs::DatapathConfig& config) {
   std::printf("  drained  : %llu packets\n",
               static_cast<unsigned long long>(result.packets_processed));
   std::printf("  rate     : %.2f Mpps (NIC cap %.1f)\n", result.mpps,
               config.nic_rate_mpps);
   std::printf("  upd CPU  : %.2f%% of measurement-thread cycles\n",
               100.0 * result.measurement_cpu_fraction);
-
-  // Health section: the fault-tolerance layer's accounting. In this
-  // fault-free backpressure run everything lands in `exact`, and
-  // exact + degraded + dropped always reconstructs the offered count.
   const ovs::DatapathHealth& h = result.health;
   std::printf("  health   : exact %llu, degraded %llu (%.2f%%), dropped %llu\n",
               static_cast<unsigned long long>(h.packets_exact),
@@ -45,22 +44,87 @@ int main() {
               100.0 * h.degraded_fraction,
               static_cast<unsigned long long>(h.rx_dropped));
   std::printf("  faults   : stalls %llu (detected %llu), kills %llu, "
-              "restores %llu, est. lost %llu\n\n",
+              "restores %llu, est. lost %llu\n",
               static_cast<unsigned long long>(h.stalls_injected),
               static_cast<unsigned long long>(h.stalls_detected),
               static_cast<unsigned long long>(h.kills_injected),
               static_cast<unsigned long long>(h.restores),
               static_cast<unsigned long long>(h.packets_lost_estimate));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* metrics_sink = argc > 1 ? argv[1] : "-";
+  const auto packets =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(400'000));
+
+  // ---- Run 1: fault-free backpressure datapath --------------------------
+  obs::Registry clean_registry;
+  ovs::DatapathConfig config;
+  config.num_queues = 2;          // two Rx queues, two measurement threads
+  config.nic_rate_mpps = 13.0;    // 40GbE at the trace's mean packet size
+  config.with_sketch = true;
+  config.sketch_memory_bytes = KiB(512);
+  config.registry = &clean_registry;
+
+  std::printf("running %zu packets through a %zu-queue datapath...\n",
+              packets.size(), config.num_queues);
+  const auto result = ovs::RunDatapath(config, packets);
+  PrintHealth(result, config);
 
   // The datapath decodes and merges its shared-nothing partitions on exit —
   // query the merged control-plane table directly.
   const auto by_dst =
       query::Aggregate(result.merged_table, keys::TupleKeySpec::DstIp());
-  std::printf("top destinations across the datapath's traffic:\n");
+  std::printf("\ntop destinations across the datapath's traffic:\n");
   for (const auto& [key, size] : query::TopRows(by_dst, 5)) {
     std::printf("  %-16s %10llu pkts\n",
                 Ipv4ToString(LoadBE32(key.data())).c_str(),
                 static_cast<unsigned long long>(size));
   }
-  return 0;
+
+  // ---- Run 2: every robustness path firing, metrics still conserve ------
+  obs::Registry registry;
+  ovs::DatapathConfig faulty = config;
+  faulty.registry = &registry;
+  // Pace the wire slowly enough that the run outlives the injected stall —
+  // otherwise the whole trace arrives inside the stall window and nothing is
+  // left to exercise the checkpoint/kill/restore paths.
+  faulty.nic_rate_mpps = 1.0;
+  faulty.ring_capacity = 256;
+  faulty.overflow = ovs::OverflowPolicy::kDropNewest;
+  faulty.degrade_enabled = true;
+  faulty.degrade_sample_prob = 0.25;
+  faulty.checkpoint_interval = 4096;
+  faulty.watchdog_timeout_ms = 50;
+  faulty.faults.stalls.push_back({0, 0, 100});  // first-batch stall: backlog
+  faulty.faults.kills.push_back({1, packets.size() / faulty.num_queues / 2});
+
+  std::printf("\nre-running with injected faults "
+              "(drop-newest ring, 100 ms stall on q0, kill on q1)...\n");
+  const auto faulted = ovs::RunDatapath(faulty, packets);
+  PrintHealth(faulted, faulty);
+
+  // Conservation, read live from the registry rather than DatapathResult:
+  // per queue, offered == exact + degraded + rx_dropped once quiescent.
+  const auto view = ovs::ReadConservation(&registry, faulty.num_queues);
+  std::printf("  conserve : offered %llu == exact %llu + degraded %llu + "
+              "dropped %llu -> %s\n",
+              static_cast<unsigned long long>(view.offered),
+              static_cast<unsigned long long>(view.exact),
+              static_cast<unsigned long long>(view.degraded),
+              static_cast<unsigned long long>(view.rx_dropped),
+              view.Holds() ? "OK" : "VIOLATED");
+
+  // Export the faulted run's full snapshot as machine-readable JSON.
+  std::printf("\nmetrics snapshot (%s):\n",
+              metrics_sink[0] == '-' ? "stdout" : metrics_sink);
+  obs::SnapshotExporter exporter(&registry, metrics_sink);
+  if (!exporter.WriteNow()) {
+    std::fprintf(stderr, "cannot write metrics snapshot to %s\n",
+                 metrics_sink);
+    return 1;
+  }
+  return view.Holds() ? 0 : 1;
 }

@@ -4,10 +4,11 @@
 # Builds the COCO_SANITIZE CMake presets and runs the tests that exercise the
 # code the sanitizers are aimed at:
 #   thread  — TSan over the lock-free SPSC rings, the watchdog's
-#             stall-detect/kill/respawn paths, and the batched merge
-#             (ovs_test, batch_test)
-#   address — ASan+UBSan over the deserializers and fuzz loops
-#             (fuzz_test plus the same two, for free)
+#             stall-detect/kill/respawn paths, the batched merge, and the
+#             relaxed-atomic metrics registry (ovs_test, batch_test,
+#             obs_test)
+#   address — ASan+UBSan over the deserializers, fuzz loops, and the
+#             snapshot JSON reader (fuzz_test plus the same three, for free)
 #
 # Usage:
 #   scripts/run_sanitizers.sh            # both presets
@@ -40,8 +41,8 @@ fi
 
 for p in "${presets[@]}"; do
   case "$p" in
-    thread) run_preset thread ovs_test batch_test ;;
-    address) run_preset address fuzz_test ovs_test batch_test ;;
+    thread) run_preset thread ovs_test batch_test obs_test ;;
+    address) run_preset address fuzz_test ovs_test batch_test obs_test ;;
     *)
       echo "unknown preset '$p' (expected: thread | address)" >&2
       exit 2

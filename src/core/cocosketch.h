@@ -23,6 +23,7 @@
 #include "common/bytes.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/sketch_stats.h"
 #include "core/state_image.h"
 #include "hash/multihash.h"
 
@@ -129,11 +130,21 @@ class CocoSketch {
 
   void Clear() {
     for (Bucket& b : buckets_) b = Bucket{};
+    key_replacements_ = 0;
   }
 
   size_t MemoryBytes() const { return buckets_.size() * BucketBytes(); }
   size_t d() const { return d_; }
   size_t l() const { return l_; }
+
+  // Occupancy / load-factor / churn introspection (core/sketch_stats.h) —
+  // a control-plane scan of the bucket array, no hot-path bookkeeping
+  // beyond the key-replacement counter.
+  SketchStats Stats() const {
+    SketchStats stats = ComputeBucketStats(buckets_, d_, l_);
+    stats.key_replacements = key_replacements_;
+    return stats;
+  }
 
   // Total recorded weight — conservation is a tested invariant: every
   // packet's weight lands in exactly one bucket.
@@ -213,6 +224,7 @@ class CocoSketch {
     if (static_cast<uint64_t>(rng_.Next32()) * b.value <
         (static_cast<uint64_t>(weight) << 32)) {
       b.key = key;
+      ++key_replacements_;
     }
   }
 
@@ -221,6 +233,7 @@ class CocoSketch {
   hash::MultiHash hash_;
   Rng rng_;
   std::vector<Bucket> buckets_;
+  uint64_t key_replacements_ = 0;
 };
 
 }  // namespace coco::core

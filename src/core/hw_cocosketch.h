@@ -27,6 +27,7 @@
 #include "common/bytes.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/sketch_stats.h"
 #include "core/state_image.h"
 #include "hash/multihash.h"
 #include "hw/approx_divider.h"
@@ -164,12 +165,22 @@ class HwCocoSketch {
 
   void Clear() {
     for (Bucket& b : buckets_) b = Bucket{};
+    key_replacements_ = 0;
   }
 
   size_t MemoryBytes() const { return buckets_.size() * BucketBytes(); }
   size_t d() const { return d_; }
   size_t l() const { return l_; }
   DivisionMode division() const { return division_; }
+
+  // Occupancy / load-factor / churn introspection (core/sketch_stats.h).
+  // Note the hardware variant's total_value exceeds the stream mass: every
+  // array increments its mapped bucket, so mass is recorded d times.
+  SketchStats Stats() const {
+    SketchStats stats = ComputeBucketStats(buckets_, d_, l_);
+    stats.key_replacements = key_replacements_;
+    return stats;
+  }
 
   // Same checksummed control-plane image format as
   // CocoSketch::SerializeState (core/state_image.h).
@@ -225,6 +236,7 @@ class HwCocoSketch {
       const uint64_t threshold = static_cast<uint64_t>(recip) * weight;
       if (static_cast<uint64_t>(rng_.Next32()) < threshold) {
         b.key = key;
+        ++key_replacements_;
       }
     }
   }
@@ -235,6 +247,7 @@ class HwCocoSketch {
   hash::MultiHash hash_;
   Rng rng_;
   std::vector<Bucket> buckets_;
+  uint64_t key_replacements_ = 0;
 };
 
 }  // namespace coco::core

@@ -90,6 +90,42 @@ class ShardedCocoSketch {
     return total;
   }
 
+  // Aggregated introspection across shards: totals and occupancies sum,
+  // load factor is recomputed over the combined bucket count, and the
+  // per-array vector sums position-wise (every shard has the same d). For
+  // a single shard's view, call shard(i).Stats(). Control-plane only —
+  // must not race with concurrent shard updates.
+  SketchStats Stats() const {
+    SketchStats total;
+    for (const auto& s : shards_) {
+      const SketchStats part = s->Stats();
+      if (total.arrays == 0) {
+        total = part;
+        continue;
+      }
+      total.buckets_total += part.buckets_total;
+      total.buckets_occupied += part.buckets_occupied;
+      total.total_value += part.total_value;
+      total.key_replacements += part.key_replacements;
+      if (part.max_bucket_value > total.max_bucket_value) {
+        total.max_bucket_value = part.max_bucket_value;
+      }
+      if (part.min_occupied_value != 0 &&
+          (total.min_occupied_value == 0 ||
+           part.min_occupied_value < total.min_occupied_value)) {
+        total.min_occupied_value = part.min_occupied_value;
+      }
+      for (size_t i = 0; i < total.per_array_occupied.size(); ++i) {
+        total.per_array_occupied[i] += part.per_array_occupied[i];
+      }
+    }
+    if (total.buckets_total != 0) {
+      total.load_factor = static_cast<double>(total.buckets_occupied) /
+                          static_cast<double>(total.buckets_total);
+    }
+    return total;
+  }
+
   void Clear() {
     for (auto& s : shards_) s->Clear();
   }

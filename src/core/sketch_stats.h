@@ -1,0 +1,59 @@
+// Introspection of a sketch's bucket state, computed on demand by the
+// Stats() methods of CocoSketch / HwCocoSketch / ShardedCocoSketch.
+//
+// Pull-based by design: nothing here touches the update hot path — a
+// Stats() call scans the bucket array once (control-plane cost, same order
+// as Decode()) and the only per-update bookkeeping the sketches keep for it
+// is a plain key-replacement counter. Gauges derived from these feed the
+// obs registry via obs/sketch_metrics.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coco::core {
+
+struct SketchStats {
+  size_t arrays = 0;             // d
+  size_t buckets_total = 0;      // d * l
+  size_t buckets_occupied = 0;   // buckets with value != 0
+  double load_factor = 0.0;      // occupied / total
+  uint64_t total_value = 0;      // recorded mass (== TotalValue())
+  uint32_t min_occupied_value = 0;  // smallest non-zero bucket (0 if empty)
+  uint32_t max_bucket_value = 0;
+  // Ownership churn: key replacements executed by the update rule. High
+  // churn relative to updates means the structure is past saturation and
+  // small flows are cycling through buckets.
+  uint64_t key_replacements = 0;
+  std::vector<size_t> per_array_occupied;  // one entry per array (d entries)
+};
+
+// Shared scan over the (key, value) bucket layout both sketch variants use.
+// `buckets` is the flat d*l array, array i occupying [i*l, (i+1)*l).
+template <typename BucketVector>
+SketchStats ComputeBucketStats(const BucketVector& buckets, size_t d,
+                               size_t l) {
+  SketchStats stats;
+  stats.arrays = d;
+  stats.buckets_total = buckets.size();
+  stats.per_array_occupied.assign(d, 0);
+  uint32_t min_value = UINT32_MAX;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint32_t value = buckets[i].value;
+    if (value == 0) continue;
+    ++stats.buckets_occupied;
+    ++stats.per_array_occupied[i / l];
+    stats.total_value += value;
+    if (value > stats.max_bucket_value) stats.max_bucket_value = value;
+    if (value < min_value) min_value = value;
+  }
+  if (stats.buckets_occupied != 0) stats.min_occupied_value = min_value;
+  if (stats.buckets_total != 0) {
+    stats.load_factor = static_cast<double>(stats.buckets_occupied) /
+                        static_cast<double>(stats.buckets_total);
+  }
+  return stats;
+}
+
+}  // namespace coco::core

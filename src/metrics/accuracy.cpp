@@ -34,4 +34,10 @@ uint64_t Quantile(const std::vector<uint64_t>& sorted, double q) {
   return sorted[idx];
 }
 
+uint64_t QuantileOr(const std::vector<uint64_t>& sorted, double q,
+                    uint64_t fallback) {
+  if (sorted.empty()) return fallback;
+  return Quantile(sorted, q);
+}
+
 }  // namespace coco::metrics

@@ -99,7 +99,17 @@ std::vector<uint64_t> AbsoluteErrors(
   return errors;
 }
 
-// Value at a given cumulative probability in a sorted sample.
+// Value at a given cumulative probability in a sorted sample. Precondition:
+// the sample is non-empty (COCO_CHECK). Callers fed from possibly-empty
+// ground-truth tables (AbsoluteErrors of an empty truth map is empty) must
+// use QuantileOr instead.
 uint64_t Quantile(const std::vector<uint64_t>& sorted, double q);
+
+// Total variant of Quantile for possibly-empty samples: returns `fallback`
+// instead of tripping the non-empty precondition. The CDF paths built on
+// AbsoluteErrors use this so an empty truth table yields a zeroed row, not
+// an abort.
+uint64_t QuantileOr(const std::vector<uint64_t>& sorted, double q,
+                    uint64_t fallback = 0);
 
 }  // namespace coco::metrics

@@ -28,6 +28,9 @@ struct PerfResult {
 template <typename UpdateFn, typename ResetFn>
 double MeasureThroughput(const std::vector<Packet>& trace, UpdateFn&& update,
                          ResetFn&& reset, int trials = 5) {
+  // An empty trace has no throughput: without this guard the per-trial rate
+  // is 0/0 = NaN and the median propagates it.
+  if (trace.empty() || trials < 1) return 0.0;
   std::vector<double> mpps;
   mpps.reserve(trials);
   for (int t = 0; t < trials; ++t) {
@@ -54,6 +57,13 @@ void MeasureCycles(const std::vector<Packet>& trace, UpdateFn&& update,
     cycles.push_back(ReadCycleCounter() - begin);
   }
   std::sort(cycles.begin(), cycles.end());
+  if (cycles.empty()) {
+    // Indexing cycles[0] on an empty trace is UB; an empty sample has no
+    // percentiles, so report zeros.
+    out->p50_cycles = 0;
+    out->p95_cycles = 0;
+    return;
+  }
   out->p50_cycles = cycles[cycles.size() / 2];
   out->p95_cycles = cycles[static_cast<size_t>(0.95 * cycles.size())];
 }

@@ -1,0 +1,42 @@
+// Bridges core::SketchStats into the obs registry: one call publishes a
+// sketch's occupancy / load-factor / churn readout as gauges under a dotted
+// prefix, so periodic exporters pick the sketch state up alongside the
+// datapath counters.
+//
+//   obs::PublishSketchStats(&registry, "ovs.q0.sketch", sketch.Stats());
+//
+// emits gauges such as ovs.q0.sketch.load_factor and
+// ovs.q0.sketch.array1.occupied. Publishing is control-plane work (a
+// handful of map lookups); call it at checkpoint/export cadence, not per
+// packet.
+#pragma once
+
+#include <string>
+
+#include "core/sketch_stats.h"
+#include "obs/metrics.h"
+
+namespace coco::obs {
+
+inline void PublishSketchStats(Registry* registry, const std::string& prefix,
+                               const core::SketchStats& stats) {
+  registry->GetGauge(prefix + ".load_factor")->Set(stats.load_factor);
+  registry->GetGauge(prefix + ".buckets_total")
+      ->Set(static_cast<double>(stats.buckets_total));
+  registry->GetGauge(prefix + ".buckets_occupied")
+      ->Set(static_cast<double>(stats.buckets_occupied));
+  registry->GetGauge(prefix + ".total_value")
+      ->Set(static_cast<double>(stats.total_value));
+  registry->GetGauge(prefix + ".min_occupied_value")
+      ->Set(static_cast<double>(stats.min_occupied_value));
+  registry->GetGauge(prefix + ".max_bucket_value")
+      ->Set(static_cast<double>(stats.max_bucket_value));
+  registry->GetGauge(prefix + ".key_replacements")
+      ->Set(static_cast<double>(stats.key_replacements));
+  for (size_t i = 0; i < stats.per_array_occupied.size(); ++i) {
+    registry->GetGauge(prefix + ".array" + std::to_string(i) + ".occupied")
+        ->Set(static_cast<double>(stats.per_array_occupied[i]));
+  }
+}
+
+}  // namespace coco::obs

@@ -7,9 +7,12 @@
 #include <optional>
 #include <thread>
 
+#include <string>
+
 #include "common/check.h"
 #include "common/cycle_clock.h"
 #include "core/sampled_cocosketch.h"
+#include "obs/sketch_metrics.h"
 #include "ovs/degrade.h"
 #include "ovs/watchdog.h"
 #include "query/flow_table.h"
@@ -46,7 +49,61 @@ struct QueueState {
   std::thread thread;           // current consumer thread for this queue
 };
 
+// Per-queue registry handles, resolved once before the threads start so the
+// hot loops never touch the registry lock. All null when no registry is
+// configured; every use is pointer-guarded.
+struct QueueMetrics {
+  obs::Counter* offered = nullptr;
+  obs::Counter* rx_dropped = nullptr;
+  obs::Counter* exact = nullptr;
+  obs::Counter* degraded = nullptr;
+  obs::Counter* degrade_enter = nullptr;
+  obs::Counter* degrade_exit = nullptr;
+  obs::Counter* stalls_detected = nullptr;
+  obs::Counter* restores = nullptr;
+  obs::Counter* checkpoints = nullptr;
+  obs::Counter* checkpoint_bytes = nullptr;
+  obs::Counter* checkpoints_rejected = nullptr;
+  obs::Histogram* batch_fill = nullptr;
+  obs::Histogram* drain_cycles = nullptr;
+};
+
+QueueMetrics ResolveQueueMetrics(obs::Registry* registry,
+                                 const std::string& prefix, size_t q) {
+  QueueMetrics m;
+  if (registry == nullptr) return m;
+  const std::string base = prefix + ".q" + std::to_string(q) + ".";
+  m.offered = registry->GetCounter(base + "offered");
+  m.rx_dropped = registry->GetCounter(base + "rx_dropped");
+  m.exact = registry->GetCounter(base + "exact");
+  m.degraded = registry->GetCounter(base + "degraded");
+  m.degrade_enter = registry->GetCounter(base + "degrade_enter");
+  m.degrade_exit = registry->GetCounter(base + "degrade_exit");
+  m.stalls_detected = registry->GetCounter(base + "stalls_detected");
+  m.restores = registry->GetCounter(base + "restores");
+  m.checkpoints = registry->GetCounter(base + "checkpoints");
+  m.checkpoint_bytes = registry->GetCounter(base + "checkpoint_bytes");
+  m.checkpoints_rejected = registry->GetCounter(base + "checkpoints_rejected");
+  m.batch_fill = registry->GetHistogram(base + "batch_fill");
+  m.drain_cycles = registry->GetHistogram(base + "drain_cycles");
+  return m;
+}
+
 }  // namespace
+
+ConservationView ReadConservation(obs::Registry* registry, size_t num_queues,
+                                  const std::string& prefix) {
+  COCO_CHECK(registry != nullptr, "conservation check needs a registry");
+  ConservationView view;
+  for (size_t q = 0; q < num_queues; ++q) {
+    const std::string base = prefix + ".q" + std::to_string(q) + ".";
+    view.offered += registry->GetCounter(base + "offered")->Value();
+    view.exact += registry->GetCounter(base + "exact")->Value();
+    view.degraded += registry->GetCounter(base + "degraded")->Value();
+    view.rx_dropped += registry->GetCounter(base + "rx_dropped")->Value();
+  }
+  return view;
+}
 
 DatapathResult RunDatapath(const DatapathConfig& config,
                            const std::vector<Packet>& trace) {
@@ -85,6 +142,13 @@ DatapathResult RunDatapath(const DatapathConfig& config,
     queue_state.push_back(std::make_unique<QueueState>());
   }
 
+  std::vector<QueueMetrics> metrics;
+  metrics.reserve(queues);
+  for (size_t q = 0; q < queues; ++q) {
+    metrics.push_back(
+        ResolveQueueMetrics(config.registry, config.metrics_prefix, q));
+  }
+
   FaultInjector injector(config.faults);
   const bool have_faults = !config.faults.Empty();
   // A killed consumer with no watchdog would hang a backpressured producer
@@ -116,6 +180,7 @@ DatapathResult RunDatapath(const DatapathConfig& config,
   // Producers: pace against the shared NIC rate, then push into their ring.
   for (size_t q = 0; q < queues; ++q) {
     producers.emplace_back([&, q] {
+      const QueueMetrics& qm = metrics[q];
       for (const WireRecord& rec : striped[q]) {
         const uint64_t my_slot = issued.fetch_add(1, std::memory_order_relaxed);
         // Wait until the NIC would have delivered packet `my_slot`. The
@@ -125,9 +190,15 @@ DatapathResult RunDatapath(const DatapathConfig& config,
                wall.ElapsedSeconds() * rate_pps) {
           std::this_thread::yield();
         }
+        // Conservation accounting: the packet is `offered` before it can
+        // surface anywhere else (ring, drop counter), so the live registry
+        // view never over-accounts.
+        if (qm.offered) qm.offered->Add(1);
         if (drop_mode) {
           // kDropNewest: a full ring costs the packet, never the wire.
-          rings[q]->PushOrDrop(rec);
+          if (!rings[q]->PushOrDrop(rec) && qm.rx_dropped) {
+            qm.rx_dropped->Add(1);
+          }
         } else {
           while (!rings[q]->TryPush(rec)) {
             std::this_thread::yield();  // ring full: receive-queue backpressure
@@ -149,6 +220,7 @@ DatapathResult RunDatapath(const DatapathConfig& config,
   const size_t drain_batch = config.drain_batch < 1 ? 1 : config.drain_batch;
   const auto consumer_fn = [&](size_t q, bool restore_first) {
     QueueState& qs = *queue_state[q];
+    const QueueMetrics& qm = metrics[q];
     uint64_t local_progress = qs.progress.load(std::memory_order_relaxed);
 
     if (restore_first && config.with_sketch) {
@@ -166,6 +238,7 @@ DatapathResult RunDatapath(const DatapathConfig& config,
           break;
         }
         checkpoints_rejected.fetch_add(1, std::memory_order_relaxed);
+        if (qm.checkpoints_rejected) qm.checkpoints_rejected->Add(1);
       }
       if (!restored) {
         sketches[q]->Clear();
@@ -200,6 +273,7 @@ DatapathResult RunDatapath(const DatapathConfig& config,
                             std::memory_order_relaxed);
     };
 
+    bool last_mode_degraded = false;
     const auto drain_once = [&]() -> size_t {
       // Occupancy is sampled before the pop so the ladder sees the backlog
       // this batch was drained from.
@@ -209,6 +283,13 @@ DatapathResult RunDatapath(const DatapathConfig& config,
       if (n == 0) return 0;
       const bool degraded_mode =
           config.degrade_enabled && ladder.OnOccupancy(occupancy);
+      if (degraded_mode != last_mode_degraded) {
+        last_mode_degraded = degraded_mode;
+        obs::Counter* transition =
+            degraded_mode ? qm.degrade_enter : qm.degrade_exit;
+        if (transition) transition->Add(1);
+      }
+      uint64_t batch_cycles = 0;
       if (config.with_sketch) {
         const uint64_t t0 = ReadCycleCounter();
         if (degraded_mode) {
@@ -221,19 +302,32 @@ DatapathResult RunDatapath(const DatapathConfig& config,
         } else {
           sketches[q]->UpdateBatch(batch.data(), n);
         }
-        local_update += ReadCycleCounter() - t0;
+        batch_cycles = ReadCycleCounter() - t0;
+        local_update += batch_cycles;
       }
       (degraded_mode ? local_degraded : local_exact) += n;
       local_progress += n;
       qs.progress.store(local_progress, std::memory_order_relaxed);
       ++local_batches;
+      // Live per-batch observability: one relaxed add per counter per
+      // batch, amortized across the n packets just drained.
+      if (qm.exact) {
+        (degraded_mode ? qm.degraded : qm.exact)->Add(n);
+        qm.batch_fill->Observe(n);
+        if (config.with_sketch) qm.drain_cycles->Observe(batch_cycles);
+      }
       if (config.with_sketch && config.checkpoint_interval != 0 &&
           local_progress - last_checkpoint >= config.checkpoint_interval) {
         auto image = sketches[q]->SerializeState();
         const uint64_t seq = ++qs.checkpoint_seq;
         injector.MaybeCorrupt(q, seq, &image);
+        const size_t image_bytes = image.size();
         qs.checkpoints.Put(seq, local_progress, std::move(image));
         checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
+        if (qm.checkpoints) {
+          qm.checkpoints->Add(1);
+          qm.checkpoint_bytes->Add(image_bytes);
+        }
         last_checkpoint = local_progress;
       }
       return n;
@@ -303,6 +397,7 @@ DatapathResult RunDatapath(const DatapathConfig& config,
             std::lock_guard<std::mutex> lock(qs.thread_mu);
             if (qs.thread.joinable()) qs.thread.join();
             restores.fetch_add(1, std::memory_order_relaxed);
+            if (metrics[q].restores) metrics[q].restores->Add(1);
             qs.status.store(kRunning, std::memory_order_release);
             qs.thread = std::thread(consumer_fn, q, true);
           } else if (status == kRunning) {
@@ -313,6 +408,9 @@ DatapathResult RunDatapath(const DatapathConfig& config,
                     qs.progress.load(std::memory_order_relaxed), now_ms,
                     pending)) {
               stalls_detected.fetch_add(1, std::memory_order_relaxed);
+              if (metrics[q].stalls_detected) {
+                metrics[q].stalls_detected->Add(1);
+              }
             }
           }
         }
@@ -382,6 +480,28 @@ DatapathResult RunDatapath(const DatapathConfig& config,
     partitions.reserve(sketches.size());
     for (const auto& s : sketches) partitions.push_back(s->Decode());
     result.merged_table = query::MergeTables(partitions);
+  }
+
+  // End-of-run registry publication: per-queue sketch introspection gauges
+  // plus the run-level rates. Counters were maintained live above; these
+  // are the quantities that only make sense at quiescence.
+  if (config.registry != nullptr) {
+    if (config.with_sketch) {
+      for (size_t q = 0; q < queues; ++q) {
+        obs::PublishSketchStats(
+            config.registry,
+            config.metrics_prefix + ".q" + std::to_string(q) + ".sketch",
+            sketches[q]->Stats());
+      }
+    }
+    const std::string run = config.metrics_prefix + ".run.";
+    config.registry->GetGauge(run + "mpps")->Set(result.mpps);
+    config.registry->GetGauge(run + "measurement_cpu_fraction")
+        ->Set(result.measurement_cpu_fraction);
+    config.registry->GetGauge(run + "avg_batch_fill")
+        ->Set(result.avg_batch_fill);
+    config.registry->GetGauge(run + "degraded_fraction")
+        ->Set(health.degraded_fraction);
   }
   return result;
 }

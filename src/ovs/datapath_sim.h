@@ -17,10 +17,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/cocosketch.h"
+#include "obs/metrics.h"
 #include "ovs/fault.h"
 #include "ovs/spsc_ring.h"
 #include "packet/keys.h"
@@ -65,7 +67,43 @@ struct DatapathConfig {
 
   // Scripted faults (empty plan = fault-free run).
   FaultPlan faults;
+
+  // --- observability (docs/OBSERVABILITY.md) ---
+
+  // When set, the datapath publishes live per-queue counters and histograms
+  // into this registry under `metrics_prefix` while the run is in flight:
+  //   <prefix>.q<q>.offered / .exact / .degraded / .rx_dropped
+  //   <prefix>.q<q>.degrade_enter / .degrade_exit
+  //   <prefix>.q<q>.stalls_detected / .restores
+  //   <prefix>.q<q>.checkpoints / .checkpoint_bytes / .checkpoints_rejected
+  //   <prefix>.q<q>.batch_fill / .drain_cycles        (histograms)
+  //   <prefix>.q<q>.sketch.*                          (gauges, end of run)
+  //   <prefix>.run.mpps / .measurement_cpu_fraction   (gauges, end of run)
+  // nullptr disables instrumentation entirely (zero hot-path cost). The
+  // registry must outlive RunDatapath.
+  obs::Registry* registry = nullptr;
+  std::string metrics_prefix = "ovs";
 };
+
+// The conservation invariant read live from the registry: a packet offered
+// to queue q ends up exact, degraded, or rx_dropped — nowhere else. Offered
+// is incremented before the ring push, so Accounted() <= offered holds
+// mid-run (HoldsLive; modulo relaxed-counter propagation between cores) and
+// equality holds once the datapath is quiescent (Holds). Reads the counters RunDatapath publishes for
+// `num_queues` queues under `prefix`.
+struct ConservationView {
+  uint64_t offered = 0;
+  uint64_t exact = 0;
+  uint64_t degraded = 0;
+  uint64_t rx_dropped = 0;
+
+  uint64_t Accounted() const { return exact + degraded + rx_dropped; }
+  bool Holds() const { return Accounted() == offered; }
+  bool HoldsLive() const { return Accounted() <= offered; }
+};
+
+ConservationView ReadConservation(obs::Registry* registry, size_t num_queues,
+                                  const std::string& prefix = "ovs");
 
 // Robustness observability: every counter the fault-tolerance layer
 // maintains. In a fault-free, non-degraded run all fields stay zero except

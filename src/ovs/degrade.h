@@ -30,6 +30,11 @@ class DegradeLadder {
     COCO_CHECK(low_watermark < high_watermark,
                "degradation watermarks must satisfy low < high");
     if (high_ == 0) high_ = 1;  // capacity-0 guard; cross only when backed up
+    // Integer truncation can collapse the hysteresis band (e.g. high=0.9,
+    // low=0.89, capacity 16 -> both 14), making one occupancy value both
+    // enter and exit degraded mode on alternating polls. Keep low_ strictly
+    // below high_ so the band is never empty.
+    if (low_ >= high_) low_ = high_ - 1;
   }
 
   // Feed the ring occupancy observed before a drain; returns true when the
@@ -40,6 +45,7 @@ class DegradeLadder {
       ++enter_events_;
     } else if (degraded_ && occupancy <= low_) {
       degraded_ = false;
+      ++exit_events_;
     }
     return degraded_;
   }
@@ -49,11 +55,21 @@ class DegradeLadder {
   // Number of exact -> degraded transitions, the hysteresis observable.
   uint64_t enter_events() const { return enter_events_; }
 
+  // Number of degraded -> exact transitions (== enter_events or one less
+  // while currently degraded).
+  uint64_t exit_events() const { return exit_events_; }
+
+  // The computed integer watermarks (post truncation-collapse repair),
+  // exposed for observability and tests.
+  size_t high_mark() const { return high_; }
+  size_t low_mark() const { return low_; }
+
  private:
   size_t high_;
   size_t low_;
   bool degraded_ = false;
   uint64_t enter_events_ = 0;
+  uint64_t exit_events_ = 0;
 };
 
 }  // namespace coco::ovs

@@ -122,6 +122,17 @@ TEST(Quantile, Basics) {
   EXPECT_EQ(metrics::Quantile(sorted, 0.95), 10u);
 }
 
+TEST(Quantile, QuantileOrFallsBackOnEmptyInput) {
+  // Regression: error-CDF paths fed Quantile() an empty per-flow error
+  // vector (no flows survived the filter) and indexed element 0 of an
+  // empty vector. QuantileOr is the safe entry for such callers.
+  const std::vector<uint64_t> empty;
+  EXPECT_EQ(metrics::QuantileOr(empty, 0.5), 0u);
+  EXPECT_EQ(metrics::QuantileOr(empty, 0.99, 42), 42u);
+  const std::vector<uint64_t> one = {7};
+  EXPECT_EQ(metrics::QuantileOr(one, 0.5, 99), 7u);  // non-empty: real value
+}
+
 TEST(MeanAccuracy, AveragesFields) {
   metrics::Accuracy a;
   a.recall = 1.0;

@@ -180,6 +180,32 @@ TEST(DegradeLadder, HysteresisBand) {
   EXPECT_EQ(ladder.enter_events(), 2u);
 }
 
+TEST(DegradeLadder, TruncationCannotCollapseTheHysteresisBand) {
+  // Regression: high=0.9, low=0.89 on a 16-slot ring both truncate to 14,
+  // which made occupancy 14 enter AND exit degraded mode on alternating
+  // polls — a transition storm with no hysteresis. The constructor must
+  // keep low strictly below high after truncation.
+  DegradeLadder ladder(0.9, 0.89, 16);
+  EXPECT_LT(ladder.low_mark(), ladder.high_mark());
+  EXPECT_EQ(ladder.high_mark(), 14u);
+  EXPECT_EQ(ladder.low_mark(), 13u);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(ladder.OnOccupancy(14));
+  EXPECT_EQ(ladder.enter_events(), 1u);  // pre-fix: 5 enters + 5 exits
+  EXPECT_EQ(ladder.exit_events(), 0u);
+  EXPECT_FALSE(ladder.OnOccupancy(13));  // the band still releases below
+  EXPECT_EQ(ladder.exit_events(), 1u);
+}
+
+TEST(DegradeLadder, ExitEventsTrackReleases) {
+  DegradeLadder ladder(0.75, 0.25, 100);
+  EXPECT_EQ(ladder.exit_events(), 0u);
+  ladder.OnOccupancy(80);
+  ladder.OnOccupancy(20);
+  ladder.OnOccupancy(90);
+  EXPECT_EQ(ladder.enter_events(), 2u);
+  EXPECT_EQ(ladder.exit_events(), 1u);  // still degraded after the last poll
+}
+
 TEST(DegradeLadder, SameSequenceSameCounters) {
   // Determinism contract for the health counters: identical occupancy
   // sequences yield identical ladder decisions and transition counts.

@@ -53,6 +53,35 @@ TEST(MeasureCycles, PercentilesOrdered) {
   EXPECT_LE(result.p50_cycles, result.p95_cycles);
 }
 
+TEST(MeasureThroughput, EmptyTraceReturnsZeroInsteadOfDividingByZero) {
+  // Regression: packets/seconds was 0/0 -> NaN on an empty trace.
+  const std::vector<Packet> empty;
+  int resets = 0;
+  const double mpps =
+      MeasureThroughput(empty, [](const Packet&) {}, [&] { ++resets; }, 3);
+  EXPECT_EQ(mpps, 0.0);  // also fails on NaN (NaN != 0.0)
+}
+
+TEST(MeasureCycles, EmptyTraceLeavesZeroPercentiles) {
+  // Regression: the percentile lookup indexed cycles[0] on an empty sample
+  // vector — UB that happened to read stale memory. Empty in, zeros out.
+  const std::vector<Packet> empty;
+  PerfResult result;
+  result.p50_cycles = 123;  // poison: must be overwritten, not left stale
+  result.p95_cycles = 456;
+  MeasureCycles(empty, [](const Packet&) {}, [] {}, &result);
+  EXPECT_EQ(result.p50_cycles, 0u);
+  EXPECT_EQ(result.p95_cycles, 0u);
+}
+
+TEST(MeasurePerf, EmptyTraceIsFullyDefined) {
+  const std::vector<Packet> empty;
+  const PerfResult result = MeasurePerf(empty, [](const Packet&) {}, [] {}, 2);
+  EXPECT_EQ(result.mpps, 0.0);
+  EXPECT_EQ(result.p50_cycles, 0u);
+  EXPECT_EQ(result.p95_cycles, 0u);
+}
+
 TEST(MeasurePerf, SlowUpdateShowsInCycles) {
   const auto trace = SmallTrace();
   PerfResult fast = MeasurePerf(trace, [](const Packet&) {}, [] {}, 1);
