@@ -11,6 +11,12 @@
 //   cocotool stats <in.state> [memoryKB] [d]
 //       restore the state and dump occupancy/load-factor introspection as a
 //       metrics-snapshot JSON (see docs/OBSERVABILITY.md)
+//   cocotool merge <out.state> "<SQL|->" <in1.state> <in2.state> [...]
+//       sketch-level merge (core/merge.h) of saved state images from
+//       several vantage points, write the merged image, and answer a SQL
+//       query over it ("-" skips the query); geometry is read from the
+//       image headers, so all inputs must have been measured with the same
+//       memKB and d
 //
 // Example session:
 //   cocotool generate /tmp/t.cocotrc 500000
@@ -22,11 +28,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/sizes.h"
 #include "core/cocosketch.h"
+#include "core/merge.h"
+#include "core/state_image.h"
 #include "obs/sketch_metrics.h"
 #include "obs/snapshot.h"
 #include "query/sql.h"
@@ -43,7 +52,9 @@ int Usage() {
                "  cocotool generate <out.cocotrc> [packets] [caida|mawi]\n"
                "  cocotool measure <in.cocotrc> <out.state> [memKB] [d]\n"
                "  cocotool query <in.state> \"<SQL>\" [memKB] [d]\n"
-               "  cocotool stats <in.state> [memKB] [d]\n");
+               "  cocotool stats <in.state> [memKB] [d]\n"
+               "  cocotool merge <out.state> \"<SQL|->\" <in1.state> "
+               "<in2.state> [...]\n");
   return 2;
 }
 
@@ -152,6 +163,73 @@ int Stats(int argc, char** argv) {
   return 0;
 }
 
+// Sketch-level merge of saved state images (network-wide aggregation,
+// docs/NETWIDE.md): restores each image into a sketch sized from its own
+// header, merges with core::MergeSketches, writes the merged image, and
+// optionally answers one SQL query over the merged decode.
+int Merge(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const std::string out_path = argv[2];
+  const std::string sql = argv[3];
+  Rng rng(0x6d657267);
+  std::optional<core::CocoSketch<FiveTuple>> merged;
+  for (int i = 4; i < argc; ++i) {
+    std::vector<uint8_t> image;
+    if (!ReadFile(argv[i], &image)) {
+      std::fprintf(stderr, "cannot read state %s\n", argv[i]);
+      return 1;
+    }
+    uint64_t d = 0, l = 0;
+    if (!core::PeekStateImageGeometry(image, &d, &l)) {
+      std::fprintf(stderr, "%s is not a valid state image\n", argv[i]);
+      return 1;
+    }
+    const size_t mem = static_cast<size_t>(d * l) *
+                       core::CocoSketch<FiveTuple>::BucketBytes();
+    core::CocoSketch<FiveTuple> shard(mem, static_cast<size_t>(d));
+    if (!shard.RestoreState(image)) {
+      std::fprintf(stderr, "corrupt or mismatched state image %s\n", argv[i]);
+      return 1;
+    }
+    if (!merged) {
+      merged.emplace(mem, d);
+      merged->RestoreState(image);
+      continue;
+    }
+    const auto stats = core::MergeSketches(&*merged, shard, &rng);
+    if (!stats.ok) {
+      std::fprintf(stderr,
+                   "geometry mismatch: %s differs from the first image "
+                   "(all inputs need the same memKB and d)\n",
+                   argv[i]);
+      return 1;
+    }
+    std::printf("merged %s: %llu matched, %llu copied, %llu conflicts\n",
+                argv[i], static_cast<unsigned long long>(stats.matched),
+                static_cast<unsigned long long>(stats.copied),
+                static_cast<unsigned long long>(stats.conflicts));
+  }
+  if (!WriteFile(out_path, merged->SerializeState())) {
+    std::fprintf(stderr, "cannot write state %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("merged %d images (%s, d=%zu) -> %s, total mass %llu\n",
+              argc - 4, FormatBytes(merged->MemoryBytes()).c_str(),
+              merged->d(), out_path.c_str(),
+              static_cast<unsigned long long>(merged->TotalValue()));
+  if (sql != "-") {
+    std::string error;
+    const auto result = query::sql::Query(sql, merged->Decode(), &error);
+    if (!result) {
+      std::fprintf(stderr, "SQL error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%s(%zu rows)\n", query::sql::FormatResult(*result).c_str(),
+                result->rows.size());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,5 +262,6 @@ int main(int argc, char** argv) {
   if (cmd == "measure") return Measure(argc, argv);
   if (cmd == "query") return RunQuery(argc, argv);
   if (cmd == "stats") return Stats(argc, argv);
+  if (cmd == "merge") return Merge(argc, argv);
   return Usage();
 }

@@ -1,0 +1,243 @@
+// netwide_monitor — the network-wide aggregation subsystem end to end
+// (docs/NETWIDE.md): N agents, each measuring a slice of a CAIDA-like
+// workload, sync their sketches to a collector over several epochs; the
+// collector serves §4.3 SQL queries over the sketch-level merge of every
+// vantage point.
+//
+//   netwide_monitor [agents] [packets] [loopback|tcp] [epochs]
+//
+// In loopback mode the run doubles as a fault drill (the CI smoke job):
+// frame faults — a drop, a corruption, a duplicate, a delayed reorder — are
+// injected into the first links, and agent 1 is restarted mid-run with a
+// fresh sketch. The protocol must converge anyway; the process exits
+// nonzero if the conservation invariant (reported mass == replica mass ==
+// merged mass) does not hold at the end, or if replica state diverges from
+// the agents' sketches.
+//
+// In tcp mode the same protocol runs over real sockets on 127.0.0.1 (no
+// fault injection — TCP's own loss handling plus the ack/resend layer are
+// under test). If the environment forbids local sockets the run reports
+// SKIP and exits 0.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sizes.h"
+#include "core/cocosketch.h"
+#include "net/agent.h"
+#include "net/collector.h"
+#include "net/tcp_transport.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "ovs/fault.h"
+#include "trace/generators.h"
+
+using namespace coco;
+
+namespace {
+
+using Sketch = core::CocoSketch<FiveTuple>;
+using NetAgent = net::Agent<Sketch>;
+using NetCollector = net::Collector<Sketch>;
+
+constexpr size_t kAgentMem = KiB(32);
+
+struct Node {
+  std::unique_ptr<Sketch> sketch;
+  std::unique_ptr<net::AgentTransport> transport;
+  std::unique_ptr<NetAgent> agent;
+};
+
+void StartAgent(Node* node, uint32_t id, obs::Registry* registry) {
+  node->sketch = std::make_unique<Sketch>(kAgentMem, 2);
+  NetAgent::Options o;
+  o.id = id;
+  o.resend_after_ticks = 4;
+  node->agent = std::make_unique<NetAgent>(o, node->sketch.get(),
+                                           node->transport.get(), registry);
+}
+
+// Ticks everyone until every agent's current epoch is acknowledged (or the
+// budget runs out — the caller checks conservation either way).
+void Converge(std::vector<Node>* nodes, NetCollector* collector,
+              int max_ticks = 3000) {
+  for (int t = 0; t < max_ticks; ++t) {
+    bool synced = true;
+    for (auto& n : *nodes) {
+      n.agent->Tick();
+      synced &= n.agent->Synced() && n.agent->last_acked_epoch() > 0;
+    }
+    collector->Tick();
+    if (synced) return;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n_agents =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  const size_t packets =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200'000;
+  const bool tcp = argc > 3 && std::strcmp(argv[3], "tcp") == 0;
+  const size_t epochs = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 4;
+  if (n_agents == 0 || epochs == 0) {
+    std::fprintf(stderr,
+                 "usage: netwide_monitor [agents] [packets] [loopback|tcp] "
+                 "[epochs]\n");
+    return 2;
+  }
+
+  obs::Registry registry;
+  NetCollector::Options copt;
+  copt.memory_bytes = kAgentMem;
+  copt.d = 2;
+
+  // Fault drill (loopback only): hello is frame 1 on each link, the first
+  // sync frame is 2.
+  ovs::FaultPlan plan;
+  plan.frames.push_back({1, 2, ovs::FrameFault::Action::kDrop});
+  if (n_agents >= 2) {
+    plan.frames.push_back({2, 2, ovs::FrameFault::Action::kCorrupt});
+  }
+  if (n_agents >= 3) {
+    plan.frames.push_back({3, 2, ovs::FrameFault::Action::kDuplicate});
+    plan.frames.push_back({3, 3, ovs::FrameFault::Action::kDelay, 2});
+  }
+
+  net::LoopbackHub hub(plan);
+  std::unique_ptr<net::TcpCollectorTransport> tcp_collector;
+  std::unique_ptr<net::CollectorTransport> loop_collector;
+  net::CollectorTransport* collector_transport = nullptr;
+  if (tcp) {
+    tcp_collector = std::make_unique<net::TcpCollectorTransport>(0);
+    if (!tcp_collector->ok()) {
+      std::printf("SKIP: cannot bind a local TCP socket in this "
+                  "environment\n");
+      return 0;
+    }
+    collector_transport = tcp_collector.get();
+  } else {
+    loop_collector = std::make_unique<net::LoopbackCollectorTransport>(&hub);
+    collector_transport = loop_collector.get();
+  }
+  NetCollector collector(copt, collector_transport, &registry);
+
+  std::vector<Node> nodes(n_agents);
+  for (size_t i = 0; i < n_agents; ++i) {
+    const uint32_t id = static_cast<uint32_t>(i + 1);
+    if (tcp) {
+      nodes[i].transport = std::make_unique<net::TcpAgentTransport>(
+          "127.0.0.1", tcp_collector->port());
+    } else {
+      nodes[i].transport =
+          std::make_unique<net::LoopbackAgentTransport>(&hub, id);
+    }
+    StartAgent(&nodes[i], id, &registry);
+  }
+  if (tcp) {
+    // Let the nonblocking connects finish before the first export.
+    bool all_connected = false;
+    for (int t = 0; t < 500 && !all_connected; ++t) {
+      all_connected = true;
+      for (auto& n : nodes) {
+        n.agent->Tick();
+        all_connected &= n.transport->Connected();
+      }
+      collector.Tick();
+    }
+    if (!all_connected) {
+      std::printf("SKIP: local TCP connect not permitted in this "
+                  "environment\n");
+      return 0;
+    }
+  }
+
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(packets));
+  std::printf("netwide_monitor: %zu agents, %zu packets, %zu epochs, %s\n",
+              n_agents, trace.size(), epochs, tcp ? "tcp" : "loopback");
+
+  const size_t per_epoch = trace.size() / epochs;
+  for (size_t e = 0; e < epochs; ++e) {
+    const size_t begin = e * per_epoch;
+    const size_t end = e + 1 == epochs ? trace.size() : begin + per_epoch;
+    for (size_t i = begin; i < end; ++i) {
+      nodes[i % n_agents].sketch->Update(trace[i].key, trace[i].weight);
+    }
+    for (auto& n : nodes) n.agent->ExportEpoch();
+    Converge(&nodes, &collector);
+    std::printf("  epoch %zu synced: collector mass %llu\n", e + 1,
+                static_cast<unsigned long long>(
+                    collector.CheckConservation().replica_mass));
+
+    if (!tcp && e == 0 && epochs >= 3) {
+      // Restart drill: agent 1 comes back with a fresh sketch and a reset
+      // epoch counter; nacked deltas must drive it to a full resync.
+      std::printf("  restarting agent 1 (fresh sketch, epoch counter "
+                  "reset)\n");
+      nodes[0].agent.reset();
+      StartAgent(&nodes[0], 1, &registry);
+    }
+  }
+  // The restarted agent's epoch counter may still trail the collector's
+  // history; extra (empty) epochs push it past and let the full image land.
+  for (int extra = 0;
+       extra < 8 && collector.LastEpochOf(1) != nodes[0].agent->epoch();
+       ++extra) {
+    nodes[0].agent->ExportEpoch();
+    Converge(&nodes, &collector);
+  }
+
+  // ---- Verdict: conservation + replica fidelity ---------------------------
+  uint64_t sketch_mass = 0;
+  for (auto& n : nodes) sketch_mass += n.sketch->TotalValue();
+  const auto c = collector.CheckConservation();
+  std::printf("\nconservation: reported=%llu replica=%llu merged=%llu "
+              "(agents' own sketches hold %llu)\n",
+              static_cast<unsigned long long>(c.reported_mass),
+              static_cast<unsigned long long>(c.replica_mass),
+              static_cast<unsigned long long>(c.merged_mass),
+              static_cast<unsigned long long>(sketch_mass));
+  bool ok = c.Holds();
+  if (c.replica_mass != sketch_mass) ok = false;
+
+  std::string error;
+  const auto by_src = collector.Query(
+      "SELECT SrcIP, SUM(Size) FROM flows GROUP BY SrcIP "
+      "ORDER BY SUM(Size) DESC LIMIT 5",
+      &error);
+  const auto by_prefix = collector.Query(
+      "SELECT SrcIP/16, SUM(Size) FROM flows GROUP BY SrcIP/16 "
+      "ORDER BY SUM(Size) DESC LIMIT 5",
+      &error);
+  if (!by_src || !by_prefix) {
+    std::fprintf(stderr, "SQL error: %s\n", error.c_str());
+    ok = false;
+  } else {
+    std::printf("\nnetwork-wide top sources:\n%s",
+                query::sql::FormatResult(*by_src).c_str());
+    std::printf("\nnetwork-wide top /16 prefixes:\n%s",
+                query::sql::FormatResult(*by_prefix).c_str());
+  }
+
+  if (!tcp) {
+    const auto stats = hub.Stats();
+    std::printf("\nlink faults fired: %llu (dropped %llu, corrupted %llu, "
+                "duplicated %llu, delayed %llu)\n",
+                static_cast<unsigned long long>(
+                    hub.faults().frame_faults_fired()),
+                static_cast<unsigned long long>(stats.frames_dropped),
+                static_cast<unsigned long long>(stats.frames_corrupted),
+                static_cast<unsigned long long>(stats.frames_duplicated),
+                static_cast<unsigned long long>(stats.frames_delayed));
+  }
+  std::printf("\nmetrics snapshot:\n%s\n",
+              obs::ToJson(obs::CaptureSnapshot(registry)).c_str());
+  std::printf("netwide_monitor: %s\n", ok ? "CONSERVATION OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -4,11 +4,13 @@
 # Builds the COCO_SANITIZE CMake presets and runs the tests that exercise the
 # code the sanitizers are aimed at:
 #   thread  — TSan over the lock-free SPSC rings, the watchdog's
-#             stall-detect/kill/respawn paths, the batched merge, and the
-#             relaxed-atomic metrics registry (ovs_test, batch_test,
-#             obs_test)
-#   address — ASan+UBSan over the deserializers, fuzz loops, and the
-#             snapshot JSON reader (fuzz_test plus the same three, for free)
+#             stall-detect/kill/respawn paths, the batched merge, the
+#             relaxed-atomic metrics registry, and the network-wide
+#             agent/collector transports (ovs_test, batch_test, obs_test,
+#             netwide_test)
+#   address — ASan+UBSan over the deserializers, fuzz loops, the snapshot
+#             JSON reader, and the frame/delta decoders (fuzz_test plus the
+#             same four, for free)
 #
 # Usage:
 #   scripts/run_sanitizers.sh            # both presets
@@ -41,8 +43,8 @@ fi
 
 for p in "${presets[@]}"; do
   case "$p" in
-    thread) run_preset thread ovs_test batch_test obs_test ;;
-    address) run_preset address fuzz_test ovs_test batch_test obs_test ;;
+    thread) run_preset thread ovs_test batch_test obs_test netwide_test ;;
+    address) run_preset address fuzz_test ovs_test batch_test obs_test netwide_test ;;
     *)
       echo "unknown preset '$p' (expected: thread | address)" >&2
       exit 2

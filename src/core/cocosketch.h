@@ -14,6 +14,7 @@
 // property-tested in tests/cocosketch_test.cpp.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -53,6 +54,7 @@ class CocoSketch {
   CocoSketch(size_t memory_bytes, size_t d = 2, uint64_t seed = 0xc0c0)
       : d_(d),
         l_(memory_bytes / (d * BucketBytes())),
+        seed_(seed),
         hash_(seed, d_, l_ == 0 ? 1 : l_),
         rng_(seed ^ 0x5eedf00d),
         buckets_(d_ * l_) {
@@ -131,11 +133,38 @@ class CocoSketch {
   void Clear() {
     for (Bucket& b : buckets_) b = Bucket{};
     key_replacements_ = 0;
+    MarkAllDirty();
   }
 
   size_t MemoryBytes() const { return buckets_.size() * BucketBytes(); }
   size_t d() const { return d_; }
   size_t l() const { return l_; }
+  uint64_t seed() const { return seed_; }
+
+  // Raw bucket readout for the control-plane merge path (core/merge.h).
+  // Bucket index b of array i lives at i*l + b.
+  std::span<const Bucket> Buckets() const { return buckets_; }
+  // Mutable access is merge-only: anything else writing buckets directly
+  // bypasses the update rule and voids the unbiasedness guarantees.
+  std::span<Bucket> MutableBuckets() { return buckets_; }
+
+  // ---- Delta-sync dirty tracking (net/delta.h) ----------------------------
+  // When enabled, every bucket whose value changes is flagged; the network
+  // agent ships only flagged buckets each epoch and clears the flags once
+  // the collector acknowledges them. Disabled (the default) the cost is one
+  // empty() branch per update.
+  void EnableDeltaTracking() { dirty_.assign(buckets_.size(), 0); }
+  bool DeltaTrackingEnabled() const { return !dirty_.empty(); }
+  const std::vector<uint8_t>& DirtyFlags() const { return dirty_; }
+  void ClearDirtyFlags() {
+    std::fill(dirty_.begin(), dirty_.end(), uint8_t{0});
+  }
+  void MarkAllDirty() {
+    std::fill(dirty_.begin(), dirty_.end(), uint8_t{1});
+  }
+  void MarkDirty(size_t bucket_index) {
+    if (!dirty_.empty()) dirty_[bucket_index] = 1;
+  }
 
   // Occupancy / load-factor / churn introspection (core/sketch_stats.h) —
   // a control-plane scan of the bucket array, no hot-path bookkeeping
@@ -185,6 +214,7 @@ class CocoSketch {
       b.value = LoadBE32(p + Key::kSize);
       p += BucketBytes();
     }
+    MarkAllDirty();
     return true;
   }
 
@@ -199,6 +229,7 @@ class CocoSketch {
       Bucket& b = buckets_[idx[i]];
       if (b.value != 0 && b.key == key) {
         b.value += weight;
+        MarkDirty(idx[i]);
         return;
       }
     }
@@ -219,6 +250,7 @@ class CocoSketch {
     }
     Bucket& b = buckets_[chosen];
     b.value += weight;
+    MarkDirty(chosen);
     // Replace with probability weight / V_new, computed in exact integer
     // arithmetic: replace iff rand32 * V < weight * 2^32.
     if (static_cast<uint64_t>(rng_.Next32()) * b.value <
@@ -230,9 +262,11 @@ class CocoSketch {
 
   size_t d_;
   size_t l_;
+  uint64_t seed_;
   hash::MultiHash hash_;
   Rng rng_;
   std::vector<Bucket> buckets_;
+  std::vector<uint8_t> dirty_;  // empty = delta tracking off
   uint64_t key_replacements_ = 0;
 };
 

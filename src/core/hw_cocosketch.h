@@ -60,6 +60,7 @@ class HwCocoSketch {
       : d_(d),
         l_(memory_bytes / (d * BucketBytes())),
         division_(division),
+        seed_(seed),
         hash_(seed, d_, l_ == 0 ? 1 : l_),
         rng_(seed ^ 0x5eedf11d),
         buckets_(d_ * l_) {
@@ -166,12 +167,35 @@ class HwCocoSketch {
   void Clear() {
     for (Bucket& b : buckets_) b = Bucket{};
     key_replacements_ = 0;
+    MarkAllDirty();
   }
 
   size_t MemoryBytes() const { return buckets_.size() * BucketBytes(); }
   size_t d() const { return d_; }
   size_t l() const { return l_; }
+  uint64_t seed() const { return seed_; }
   DivisionMode division() const { return division_; }
+
+  // Raw bucket readout for the control-plane merge path (core/merge.h).
+  std::span<const Bucket> Buckets() const { return buckets_; }
+  // Mutable access is merge-only (see CocoSketch::MutableBuckets).
+  std::span<Bucket> MutableBuckets() { return buckets_; }
+
+  // Delta-sync dirty tracking (net/delta.h); see CocoSketch. The hardware
+  // variant writes all d mapped buckets per packet, so its deltas are up to
+  // d× larger for the same traffic.
+  void EnableDeltaTracking() { dirty_.assign(buckets_.size(), 0); }
+  bool DeltaTrackingEnabled() const { return !dirty_.empty(); }
+  const std::vector<uint8_t>& DirtyFlags() const { return dirty_; }
+  void ClearDirtyFlags() {
+    std::fill(dirty_.begin(), dirty_.end(), uint8_t{0});
+  }
+  void MarkAllDirty() {
+    std::fill(dirty_.begin(), dirty_.end(), uint8_t{1});
+  }
+  void MarkDirty(size_t bucket_index) {
+    if (!dirty_.empty()) dirty_[bucket_index] = 1;
+  }
 
   // Occupancy / load-factor / churn introspection (core/sketch_stats.h).
   // Note the hardware variant's total_value exceeds the stream mass: every
@@ -210,6 +234,7 @@ class HwCocoSketch {
       b.value = LoadBE32(p + Key::kSize);
       p += BucketBytes();
     }
+    MarkAllDirty();
     return true;
   }
 
@@ -226,6 +251,7 @@ class HwCocoSketch {
       Bucket& b = buckets_[idx[i]];
       // Value stage: unconditional increment — no dependence on the key.
       b.value += weight;
+      MarkDirty(idx[i]);
       if (b.key == key) continue;  // matching key needs no replacement draw
       // Key stage: replace w.p. weight / V_new via reciprocal comparison,
       // exactly as the hardware pipelines execute it.
@@ -244,9 +270,11 @@ class HwCocoSketch {
   size_t d_;
   size_t l_;
   DivisionMode division_;
+  uint64_t seed_;
   hash::MultiHash hash_;
   Rng rng_;
   std::vector<Bucket> buckets_;
+  std::vector<uint8_t> dirty_;  // empty = delta tracking off
   uint64_t key_replacements_ = 0;
 };
 

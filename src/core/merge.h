@@ -1,0 +1,153 @@
+// Sketch-level merge for network-wide aggregation (docs/NETWIDE.md).
+//
+// Agents at different vantage points each run a CocoSketch over their slice
+// of the traffic; the collector combines them WITHOUT decoding by summing the
+// bucket arrays position-wise. Both sketches must share geometry (d, l) and
+// hash seed, so bucket i of array j maps the same key set in both.
+//
+// Per bucket pair ((k1,v1), (k2,v2)):
+//   * one side empty            -> copy the other;
+//   * k1 == k2                  -> keep the key, sum the values;
+//   * conflict (k1 != k2)       -> value v1+v2, key k2 with probability
+//                                  v2/(v1+v2), else k1.
+//
+// Unbiasedness sketch (the §4 argument survives the merge): before merging,
+// E[mass decoded for flow e from shard s] = f_s(e) for every flow and shard
+// (Lemma 3 per shard). The conflict rule redistributes the pair's combined
+// mass v1+v2 to k1 or k2 in proportion to their contributions, so
+// E[mass attributed to k1 | v1, v2] = (v1+v2) * v1/(v1+v2) = v1 and likewise
+// for k2 — the merge is mass-conserving in expectation per key, hence the
+// merged decode stays unbiased for every flow and, by linearity, for every
+// partial-key aggregate. Property-tested against shard-then-decode ground
+// truth in tests/netwide_test.cpp.
+//
+// Caveat: after a merge a flow may occupy several buckets of the basic
+// CocoSketch (one inherited from each shard), which its point Query() — first
+// match wins — under-reports. Decode() sums duplicate keys, so the decode +
+// aggregate query path (the one the collector serves) is unaffected. The
+// hardware variant already allows duplicates across arrays and is merged with
+// the same per-array rule.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cocosketch.h"
+#include "core/hw_cocosketch.h"
+
+namespace coco::core {
+
+struct MergeStats {
+  bool ok = false;          // false: geometry/seed mismatch, dst untouched
+  uint64_t matched = 0;     // same key both sides
+  uint64_t copied = 0;      // one side empty
+  uint64_t conflicts = 0;   // probabilistic key resolution ran
+  uint64_t saturated = 0;   // value clamped at UINT32_MAX
+};
+
+namespace internal {
+
+// The shared bucket-pair rule. `dst` accumulates `src`.
+template <typename Bucket>
+void MergeBucket(Bucket* dst, const Bucket& src, Rng* rng, MergeStats* stats) {
+  if (src.value == 0) return;
+  if (dst->value == 0) {
+    *dst = src;
+    ++stats->copied;
+    return;
+  }
+  const uint64_t sum =
+      static_cast<uint64_t>(dst->value) + static_cast<uint64_t>(src.value);
+  if (dst->key == src.key) {
+    ++stats->matched;
+  } else {
+    ++stats->conflicts;
+    // Keep src's key with probability src.value / (dst.value + src.value) —
+    // exact integer arithmetic, no doubles.
+    if (rng->NextBelow(sum) < src.value) dst->key = src.key;
+  }
+  if (sum > UINT32_MAX) {
+    dst->value = UINT32_MAX;
+    ++stats->saturated;
+  } else {
+    dst->value = static_cast<uint32_t>(sum);
+  }
+}
+
+template <typename Sketch>
+MergeStats MergeBucketArrays(Sketch* dst, const Sketch& src, Rng* rng) {
+  MergeStats stats;
+  if (dst->d() != src.d() || dst->l() != src.l() ||
+      dst->seed() != src.seed()) {
+    return stats;  // ok == false, dst untouched
+  }
+  auto dst_buckets = dst->MutableBuckets();
+  auto src_buckets = src.Buckets();
+  for (size_t i = 0; i < dst_buckets.size(); ++i) {
+    MergeBucket(&dst_buckets[i], src_buckets[i], rng, &stats);
+  }
+  dst->MarkAllDirty();
+  stats.ok = true;
+  return stats;
+}
+
+}  // namespace internal
+
+// Merge `src` into `dst`. Returns stats with ok == false (and dst untouched)
+// when geometry or hash seed differ.
+template <typename Key>
+MergeStats MergeSketches(CocoSketch<Key>* dst, const CocoSketch<Key>& src,
+                         Rng* rng) {
+  return internal::MergeBucketArrays(dst, src, rng);
+}
+
+template <typename Key>
+MergeStats MergeSketches(HwCocoSketch<Key>* dst, const HwCocoSketch<Key>& src,
+                         Rng* rng) {
+  if (dst->division() != src.division()) return MergeStats{};
+  return internal::MergeBucketArrays(dst, src, rng);
+}
+
+// USS merge baseline: combine decoded entry sets and collapse back down to
+// `capacity` entries with the unbiased pairwise rule — repeatedly fold the
+// two smallest entries into one carrying their combined mass, keeping each
+// key with probability proportional to its contribution (the same rule USS
+// applies on arrival, and the d = all-buckets degenerate case of the bucket
+// merge above). O(n log n) sort + O(n - capacity) collapses; control-plane
+// cost only.
+template <typename Key>
+std::vector<std::pair<Key, uint64_t>> MergeUssEntries(
+    const std::unordered_map<Key, uint64_t>& a,
+    const std::unordered_map<Key, uint64_t>& b, size_t capacity, Rng* rng) {
+  std::unordered_map<Key, uint64_t> combined = a;
+  for (const auto& [key, value] : b) combined[key] += value;
+  std::vector<std::pair<Key, uint64_t>> entries(combined.begin(),
+                                                combined.end());
+  std::sort(entries.begin(), entries.end(), [](const auto& x, const auto& y) {
+    return x.second < y.second;
+  });
+  size_t head = 0;  // entries[head..] is the live ascending-sorted set
+  while (entries.size() - head > capacity && entries.size() - head >= 2) {
+    auto& small = entries[head];
+    auto& next = entries[head + 1];
+    const uint64_t sum = small.second + next.second;
+    if (rng->NextBelow(sum) < small.second) next.first = small.first;
+    next.second = sum;
+    ++head;
+    // Restore sorted order: bubble the grown entry right while larger than
+    // its successor.
+    for (size_t i = head; i + 1 < entries.size() &&
+                          entries[i].second > entries[i + 1].second;
+         ++i) {
+      std::swap(entries[i], entries[i + 1]);
+    }
+  }
+  return {entries.begin() + static_cast<ptrdiff_t>(head), entries.end()};
+}
+
+}  // namespace coco::core

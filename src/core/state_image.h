@@ -1,11 +1,16 @@
-// Checksummed control-plane state images, shared by the sketch variants.
+// Checksummed, versioned control-plane state images, shared by the sketch
+// variants.
 //
-// Layout: | d (8 BE) | l (8 BE) | checksum (8 BE) | body |. The checksum is
-// Hash64 over the body seeded with the geometry, so truncation, geometry
-// mismatches, and bit flips anywhere in the image are all detected before a
-// single byte reaches a live sketch. The OVS datapath's checkpoint/restore
-// recovery leans on this: a corrupt checkpoint must be rejected cleanly so
-// recovery can fall back to an older image instead of resurrecting garbage.
+// Layout: | version (8 BE) | d (8 BE) | l (8 BE) | checksum (8 BE) | body |.
+// The checksum is Hash64 over the body seeded with the version and geometry,
+// so truncation, version skew, geometry mismatches, and bit flips anywhere in
+// the image are all detected before a single byte reaches a live sketch. The
+// OVS datapath's checkpoint/restore recovery leans on this: a corrupt
+// checkpoint must be rejected cleanly so recovery can fall back to an older
+// image instead of resurrecting garbage. The network-wide collection layer
+// (net/frame.h) ships these images between processes, which is why the format
+// carries an explicit version word: a collector must reject images sealed by
+// an incompatible build instead of reinterpreting them.
 #pragma once
 
 #include <cstddef>
@@ -17,35 +22,57 @@
 
 namespace coco::core {
 
-inline constexpr size_t kStateHeaderBytes = 24;
+// Bump on any layout change. Version 1 was the unversioned 24-byte header;
+// version 2 added this version word.
+inline constexpr uint64_t kStateFormatVersion = 2;
+inline constexpr size_t kStateHeaderBytes = 32;
 inline constexpr uint64_t kStateChecksumSeed = 0x57a7ec0c0ULL;
 
-inline uint64_t StateChecksum(uint64_t d, uint64_t l, const uint8_t* body,
-                              size_t body_len) {
-  return hash::Hash64(body, body_len, kStateChecksumSeed ^ (d << 32) ^ l);
+inline uint64_t StateChecksum(uint64_t version, uint64_t d, uint64_t l,
+                              const uint8_t* body, size_t body_len) {
+  return hash::Hash64(body, body_len,
+                      kStateChecksumSeed ^ (version << 48) ^ (d << 32) ^ l);
 }
 
 // Fills the header of an image whose body already sits after the first
 // kStateHeaderBytes bytes.
 inline void SealStateImage(uint64_t d, uint64_t l,
                            std::vector<uint8_t>* image) {
-  StoreBE64(image->data(), d);
-  StoreBE64(image->data() + 8, l);
-  StoreBE64(image->data() + 16,
-            StateChecksum(d, l, image->data() + kStateHeaderBytes,
+  StoreBE64(image->data(), kStateFormatVersion);
+  StoreBE64(image->data() + 8, d);
+  StoreBE64(image->data() + 16, l);
+  StoreBE64(image->data() + 24,
+            StateChecksum(kStateFormatVersion, d, l,
+                          image->data() + kStateHeaderBytes,
                           image->size() - kStateHeaderBytes));
 }
 
-// Full validation (size, geometry, checksum). Restore paths call this before
-// touching any sketch state, so a rejected image leaves the sketch intact.
+// Full validation (size, version, geometry, checksum). Restore paths call
+// this before touching any sketch state, so a rejected image leaves the
+// sketch intact. Unknown versions are rejected outright — there is no
+// best-effort decoding of foreign formats.
 inline bool ValidateStateImage(const std::vector<uint8_t>& image, uint64_t d,
                                uint64_t l, size_t body_bytes) {
   if (image.size() != kStateHeaderBytes + body_bytes) return false;
-  if (LoadBE64(image.data()) != d || LoadBE64(image.data() + 8) != l) {
+  if (LoadBE64(image.data()) != kStateFormatVersion) return false;
+  if (LoadBE64(image.data() + 8) != d || LoadBE64(image.data() + 16) != l) {
     return false;
   }
-  return LoadBE64(image.data() + 16) ==
-         StateChecksum(d, l, image.data() + kStateHeaderBytes, body_bytes);
+  return LoadBE64(image.data() + 24) ==
+         StateChecksum(kStateFormatVersion, d, l,
+                       image.data() + kStateHeaderBytes, body_bytes);
+}
+
+// Header peek for tools that receive an image without knowing the geometry
+// in advance (cocotool merge, the network collector). Only the header is
+// inspected — the checksum is still verified by the restore path.
+inline bool PeekStateImageGeometry(const std::vector<uint8_t>& image,
+                                   uint64_t* d, uint64_t* l) {
+  if (image.size() < kStateHeaderBytes) return false;
+  if (LoadBE64(image.data()) != kStateFormatVersion) return false;
+  *d = LoadBE64(image.data() + 8);
+  *l = LoadBE64(image.data() + 16);
+  return *d >= 1 && *l >= 1;
 }
 
 }  // namespace coco::core

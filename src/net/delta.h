@@ -1,0 +1,144 @@
+// Delta-sync payloads: ship only the buckets that changed since the last
+// acknowledged export (docs/NETWIDE.md).
+//
+// Sketches track dirty buckets (CocoSketch::EnableDeltaTracking); an agent
+// snapshots the flagged buckets into this payload each epoch. Entries carry
+// the bucket's absolute (key, value) image — not an increment — so applying
+// a delta is idempotent and a retried frame cannot double-count. The payload
+// self-describes its geometry and the sender's total recorded mass, letting
+// the collector verify conservation (replica total == reported total) after
+// every apply and fall back to a full resync on any mismatch.
+//
+//   | d (4 BE) | l (4 BE) | entry_count (4 BE) | base_epoch (8 BE) |
+//   | total_value (8 BE) |
+//   | entries: entry_count × ( index (4 BE) | key (Key::kSize) | value (4 BE) ) |
+//
+// base_epoch is the last epoch the collector acknowledged when the delta was
+// built: the payload contains every bucket changed since then, so the
+// collector may apply it whenever its replica is at base_epoch or later —
+// a lost delta is healed by the next one instead of forcing a full resync.
+//
+// Entries are sorted by strictly increasing bucket index — the canonical
+// form; duplicates or disorder mark a forged/corrupt payload and are
+// rejected. Integrity against bit flips is the enclosing frame's checksum
+// (net/frame.h); validation here is structural.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace coco::net {
+
+inline constexpr size_t kDeltaHeaderBytes = 28;
+
+template <typename Sketch>
+constexpr size_t DeltaEntryBytes() {
+  return 4 + Sketch::BucketBytes();
+}
+
+// Serializes every dirty bucket of `sketch`. Does NOT clear the dirty flags:
+// the agent clears them only once the collector acknowledges the epoch, so
+// an unacknowledged delta's changes roll into the next one.
+template <typename Sketch>
+std::vector<uint8_t> BuildDeltaPayload(const Sketch& sketch,
+                                       uint64_t base_epoch) {
+  using Key = decltype(Sketch::Bucket::key);
+  const auto& dirty = sketch.DirtyFlags();
+  const auto buckets = sketch.Buckets();
+  uint32_t count = 0;
+  for (const uint8_t flag : dirty) count += flag != 0;
+
+  std::vector<uint8_t> out(kDeltaHeaderBytes +
+                           count * DeltaEntryBytes<Sketch>());
+  StoreBE32(out.data(), static_cast<uint32_t>(sketch.d()));
+  StoreBE32(out.data() + 4, static_cast<uint32_t>(sketch.l()));
+  StoreBE32(out.data() + 8, count);
+  StoreBE64(out.data() + 12, base_epoch);
+  StoreBE64(out.data() + 20, sketch.TotalValue());
+  uint8_t* p = out.data() + kDeltaHeaderBytes;
+  for (size_t i = 0; i < dirty.size(); ++i) {
+    if (dirty[i] == 0) continue;
+    StoreBE32(p, static_cast<uint32_t>(i));
+    std::memcpy(p + 4, buckets[i].key.data(), Key::kSize);
+    StoreBE32(p + 4 + Key::kSize, buckets[i].value);
+    p += DeltaEntryBytes<Sketch>();
+  }
+  return out;
+}
+
+// Full-image payload for comparison / full syncs; the sealed state image
+// already carries its own version word and checksum.
+template <typename Sketch>
+std::vector<uint8_t> BuildFullPayload(const Sketch& sketch) {
+  return sketch.SerializeState();
+}
+
+struct DeltaInfo {
+  uint32_t entry_count = 0;
+  uint64_t base_epoch = 0;   // delta covers changes after this epoch
+  uint64_t total_value = 0;  // sender's TotalValue() at build time
+};
+
+// Parses just the header. Used by the collector to check base_epoch before
+// committing to an apply.
+template <typename Sketch>
+bool PeekDeltaInfo(const std::vector<uint8_t>& payload, DeltaInfo* info) {
+  if (payload.size() < kDeltaHeaderBytes) return false;
+  info->entry_count = LoadBE32(payload.data() + 8);
+  info->base_epoch = LoadBE64(payload.data() + 12);
+  info->total_value = LoadBE64(payload.data() + 20);
+  return true;
+}
+
+// Validates `payload` against `replica`'s geometry and applies it. The whole
+// payload is validated before the first bucket is written, so a rejected
+// delta leaves the replica untouched. Returns false on any structural
+// violation: short/oversized payload, geometry mismatch, out-of-range or
+// non-increasing bucket indices.
+template <typename Sketch>
+bool ApplyDeltaPayload(const std::vector<uint8_t>& payload, Sketch* replica,
+                       DeltaInfo* info) {
+  using Key = decltype(Sketch::Bucket::key);
+  if (payload.size() < kDeltaHeaderBytes) return false;
+  if (LoadBE32(payload.data()) != replica->d() ||
+      LoadBE32(payload.data() + 4) != replica->l()) {
+    return false;
+  }
+  const uint32_t count = LoadBE32(payload.data() + 8);
+  if (payload.size() !=
+      kDeltaHeaderBytes + static_cast<size_t>(count) *
+                              DeltaEntryBytes<Sketch>()) {
+    return false;
+  }
+  const size_t total_buckets = replica->d() * replica->l();
+  const uint8_t* p = payload.data() + kDeltaHeaderBytes;
+  uint64_t prev = 0;
+  bool first = true;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t index = LoadBE32(p + i * DeltaEntryBytes<Sketch>());
+    if (index >= total_buckets) return false;
+    if (!first && index <= prev) return false;  // canonical: strictly ascending
+    prev = index;
+    first = false;
+  }
+  auto buckets = replica->MutableBuckets();
+  p = payload.data() + kDeltaHeaderBytes;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t index = LoadBE32(p);
+    std::memcpy(buckets[index].key.data(), p + 4, Key::kSize);
+    buckets[index].value = LoadBE32(p + 4 + Key::kSize);
+    p += DeltaEntryBytes<Sketch>();
+  }
+  if (info != nullptr) {
+    info->entry_count = count;
+    info->base_epoch = LoadBE64(payload.data() + 12);
+    info->total_value = LoadBE64(payload.data() + 20);
+  }
+  return true;
+}
+
+}  // namespace coco::net

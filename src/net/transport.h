@@ -1,0 +1,215 @@
+// Transport abstraction for the agent/collector protocol, and the in-process
+// loopback implementation (docs/NETWIDE.md).
+//
+// Two endpoints:
+//   * AgentTransport     — one agent's bidirectional frame channel;
+//   * CollectorTransport — the collector's fan-in: frames from every agent
+//     arrive in one stream (frames self-identify via agent_id), replies are
+//     addressed per agent.
+//
+// The loopback implementation is deterministic and single-process: per-agent
+// FIFO queues guarded by one mutex, with an ovs::FaultInjector applied to
+// every agent->collector send — FrameFault plans drop, duplicate, corrupt,
+// or delay (reorder) exact frames by sequence number, so every recovery path
+// in the protocol is reproducible in CI. The TCP implementation lives in
+// net/tcp_transport.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "ovs/fault.h"
+
+namespace coco::net {
+
+struct LinkStats {
+  uint64_t frames_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t frames_dropped = 0;      // by fault injection
+  uint64_t frames_duplicated = 0;   // by fault injection
+  uint64_t frames_corrupted = 0;    // by fault injection
+  uint64_t frames_delayed = 0;      // by fault injection
+};
+
+// Agent-side endpoint: frames go to the collector, replies come back.
+class AgentTransport {
+ public:
+  virtual ~AgentTransport() = default;
+  // Enqueues one encoded frame toward the collector; false = link down
+  // (the agent keeps the frame pending and retries after reconnect).
+  virtual bool Send(const std::vector<uint8_t>& frame) = 0;
+  // Non-blocking: pops the next complete frame from the collector.
+  virtual bool Receive(std::vector<uint8_t>* frame) = 0;
+  virtual bool Connected() const = 0;
+  // Drives connection upkeep (reconnect backoff, socket flushes). The
+  // loopback needs none.
+  virtual void Tick() {}
+};
+
+// Collector-side endpoint: one receive stream for all agents.
+class CollectorTransport {
+ public:
+  virtual ~CollectorTransport() = default;
+  virtual bool Receive(std::vector<uint8_t>* frame) = 0;
+  virtual bool SendTo(uint32_t agent_id, const std::vector<uint8_t>& frame) = 0;
+  virtual void Tick() {}
+};
+
+// ---- In-process loopback --------------------------------------------------
+
+class LoopbackHub;
+
+class LoopbackAgentTransport : public AgentTransport {
+ public:
+  LoopbackAgentTransport(LoopbackHub* hub, uint32_t agent_id)
+      : hub_(hub), agent_id_(agent_id) {}
+
+  bool Send(const std::vector<uint8_t>& frame) override;
+  bool Receive(std::vector<uint8_t>* frame) override;
+  bool Connected() const override { return true; }
+
+ private:
+  LoopbackHub* hub_;
+  uint32_t agent_id_;
+};
+
+class LoopbackCollectorTransport : public CollectorTransport {
+ public:
+  explicit LoopbackCollectorTransport(LoopbackHub* hub) : hub_(hub) {}
+
+  bool Receive(std::vector<uint8_t>* frame) override;
+  bool SendTo(uint32_t agent_id, const std::vector<uint8_t>& frame) override;
+
+ private:
+  LoopbackHub* hub_;
+};
+
+// The shared medium. Thread-safe: agents and the collector may run on
+// different threads (the TSan suite does); a single mutex is ample at
+// control-plane frame rates.
+class LoopbackHub {
+ public:
+  explicit LoopbackHub(const ovs::FaultPlan& plan = {}) : faults_(plan) {}
+
+  LoopbackAgentTransport MakeAgentTransport(uint32_t agent_id) {
+    return LoopbackAgentTransport(this, agent_id);
+  }
+  LoopbackCollectorTransport MakeCollectorTransport() {
+    return LoopbackCollectorTransport(this);
+  }
+
+  LinkStats Stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  const ovs::FaultInjector& faults() const { return faults_; }
+
+ private:
+  friend class LoopbackAgentTransport;
+  friend class LoopbackCollectorTransport;
+
+  void AgentSend(uint32_t agent_id, std::vector<uint8_t> frame) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.frames_sent++;
+    stats_.bytes_sent += frame.size();
+    const uint64_t seq = ++send_seq_[agent_id];
+    auto fault = faults_.FrameActionFor(agent_id, seq, &frame);
+    // Release any delayed frame whose hold has expired — after the frames
+    // that overtook it, which is the reordering the fault models.
+    ReleaseDueDelayedLocked(agent_id);
+    if (fault) {
+      switch (fault->action) {
+        case ovs::FrameFault::Action::kDrop:
+          stats_.frames_dropped++;
+          return;
+        case ovs::FrameFault::Action::kDuplicate:
+          stats_.frames_duplicated++;
+          to_collector_.push_back(frame);
+          break;
+        case ovs::FrameFault::Action::kCorrupt:
+          stats_.frames_corrupted++;
+          break;
+        case ovs::FrameFault::Action::kDelay:
+          stats_.frames_delayed++;
+          delayed_[agent_id].push_back(
+              {seq + fault->delay_frames, std::move(frame)});
+          return;
+      }
+    }
+    to_collector_.push_back(std::move(frame));
+  }
+
+  void ReleaseDueDelayedLocked(uint32_t agent_id) {
+    auto it = delayed_.find(agent_id);
+    if (it == delayed_.end()) return;
+    auto& held = it->second;
+    for (size_t i = 0; i < held.size();) {
+      if (held[i].release_after_seq <= send_seq_[agent_id]) {
+        to_collector_.push_back(std::move(held[i].frame));
+        held.erase(held.begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  bool CollectorReceive(std::vector<uint8_t>* frame) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (to_collector_.empty()) return false;
+    *frame = std::move(to_collector_.front());
+    to_collector_.pop_front();
+    return true;
+  }
+
+  void CollectorSend(uint32_t agent_id, std::vector<uint8_t> frame) {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_agent_[agent_id].push_back(std::move(frame));
+  }
+
+  bool AgentReceive(uint32_t agent_id, std::vector<uint8_t>* frame) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = to_agent_.find(agent_id);
+    if (it == to_agent_.end() || it->second.empty()) return false;
+    *frame = std::move(it->second.front());
+    it->second.pop_front();
+    return true;
+  }
+
+  struct DelayedFrame {
+    uint64_t release_after_seq;
+    std::vector<uint8_t> frame;
+  };
+
+  mutable std::mutex mu_;
+  ovs::FaultInjector faults_;
+  LinkStats stats_;
+  std::unordered_map<uint32_t, uint64_t> send_seq_;
+  std::deque<std::vector<uint8_t>> to_collector_;
+  std::unordered_map<uint32_t, std::deque<std::vector<uint8_t>>> to_agent_;
+  std::unordered_map<uint32_t, std::vector<DelayedFrame>> delayed_;
+};
+
+inline bool LoopbackAgentTransport::Send(const std::vector<uint8_t>& frame) {
+  hub_->AgentSend(agent_id_, frame);
+  return true;
+}
+inline bool LoopbackAgentTransport::Receive(std::vector<uint8_t>* frame) {
+  return hub_->AgentReceive(agent_id_, frame);
+}
+inline bool LoopbackCollectorTransport::Receive(std::vector<uint8_t>* frame) {
+  return hub_->CollectorReceive(frame);
+}
+inline bool LoopbackCollectorTransport::SendTo(
+    uint32_t agent_id, const std::vector<uint8_t>& frame) {
+  hub_->CollectorSend(agent_id, frame);
+  return true;
+}
+
+}  // namespace coco::net

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
@@ -48,14 +49,31 @@ struct CorruptFault {
   uint64_t seq = 0;
 };
 
+// Frame-level transport fault: the `seq`-th frame (1-based) sent on link
+// `link` (the agent id in the net/ subsystem) is dropped, duplicated,
+// bit-flipped, or held back for `delay_frames` subsequent sends (which
+// reorders it past them). The collector must survive all four: checksums
+// reject corruption, epoch tracking rejects duplicates and reordering, and
+// the ack/nack protocol recovers drops (docs/NETWIDE.md).
+struct FrameFault {
+  enum class Action { kDrop, kDuplicate, kCorrupt, kDelay };
+
+  size_t link = 0;
+  uint64_t seq = 0;
+  Action action = Action::kDrop;
+  uint32_t delay_frames = 1;  // for kDelay
+};
+
 struct FaultPlan {
   uint64_t seed = 0xfa010;
   std::vector<StallFault> stalls;
   std::vector<KillFault> kills;
   std::vector<CorruptFault> corruptions;
+  std::vector<FrameFault> frames;
 
   bool Empty() const {
-    return stalls.empty() && kills.empty() && corruptions.empty();
+    return stalls.empty() && kills.empty() && corruptions.empty() &&
+           frames.empty();
   }
 };
 
@@ -69,7 +87,8 @@ class FaultInjector {
       : plan_(plan),
         stall_fired_(plan.stalls.size(), 0),
         kill_fired_(plan.kills.size(), 0),
-        corrupt_fired_(plan.corruptions.size(), 0) {}
+        corrupt_fired_(plan.corruptions.size(), 0),
+        frame_fired_(plan.frames.size(), 0) {}
 
   // Called by queue `queue`'s consumer with its drain progress; returns the
   // stall to serve now in milliseconds (0 = none).
@@ -122,6 +141,31 @@ class FaultInjector {
     return false;
   }
 
+  // Looks up the frame fault for the `seq`-th send on `link` (at most one
+  // fires per send; faults fire once). Returns nullopt when the frame passes
+  // clean. kCorrupt applies seeded bit flips to *frame in place, exactly as
+  // MaybeCorrupt does for checkpoint images.
+  std::optional<FrameFault> FrameActionFor(size_t link, uint64_t seq,
+                                           std::vector<uint8_t>* frame) {
+    for (size_t i = 0; i < plan_.frames.size(); ++i) {
+      const FrameFault& f = plan_.frames[i];
+      if (f.link == link && frame_fired_[i] == 0 && f.seq == seq) {
+        frame_fired_[i] = 1;
+        frame_faults_fired_.fetch_add(1, std::memory_order_relaxed);
+        if (f.action == FrameFault::Action::kCorrupt && !frame->empty()) {
+          Rng rng(plan_.seed ^ (link * 0x9e3779b97f4a7c15ULL) ^ seq ^
+                  0xf4a3e);
+          for (int flip = 0; flip < 3; ++flip) {
+            (*frame)[rng.NextBelow(frame->size())] ^=
+                static_cast<uint8_t>(1 + rng.NextBelow(255));
+          }
+        }
+        return f;
+      }
+    }
+    return std::nullopt;
+  }
+
   uint64_t stalls_fired() const {
     return stalls_fired_.load(std::memory_order_relaxed);
   }
@@ -131,15 +175,20 @@ class FaultInjector {
   uint64_t corruptions_fired() const {
     return corruptions_fired_.load(std::memory_order_relaxed);
   }
+  uint64_t frame_faults_fired() const {
+    return frame_faults_fired_.load(std::memory_order_relaxed);
+  }
 
  private:
   FaultPlan plan_;
   std::vector<uint8_t> stall_fired_;
   std::vector<uint8_t> kill_fired_;
   std::vector<uint8_t> corrupt_fired_;
+  std::vector<uint8_t> frame_fired_;
   std::atomic<uint64_t> stalls_fired_{0};
   std::atomic<uint64_t> kills_fired_{0};
   std::atomic<uint64_t> corruptions_fired_{0};
+  std::atomic<uint64_t> frame_faults_fired_{0};
 };
 
 }  // namespace coco::ovs

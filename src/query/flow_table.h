@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <unordered_map>
 #include <vector>
 
@@ -49,14 +50,30 @@ FlowTable<Key> AbsDiff(const FlowTable<Key>& a, const FlowTable<Key>& b) {
   return out;
 }
 
+// Deterministic total order on keys: length, then bytes, then (for DynKeys)
+// the significant bit count. Used to break size ties so sorted output does
+// not depend on hash-map iteration order.
+template <typename Key>
+bool KeyOrderLess(const Key& a, const Key& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  if (a.size() != 0) {
+    const int c = std::memcmp(a.data(), b.data(), a.size());
+    if (c != 0) return c < 0;
+  }
+  if constexpr (requires { a.bits; }) return a.bits < b.bits;
+  return false;
+}
+
 // Rows of a table sorted by size descending, truncated to n — the
-// human-readable query result the examples print.
+// human-readable query result the examples print. Equal sizes are ordered
+// by key (KeyOrderLess), so output is stable across runs and platforms.
 template <typename Key>
 std::vector<std::pair<Key, uint64_t>> TopRows(const FlowTable<Key>& table,
                                               size_t n) {
   std::vector<std::pair<Key, uint64_t>> rows(table.begin(), table.end());
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-    return a.second > b.second;
+    if (a.second != b.second) return a.second > b.second;
+    return KeyOrderLess(a.first, b.first);
   });
   if (rows.size() > n) rows.resize(n);
   return rows;

@@ -382,9 +382,12 @@ Result Execute(const Statement& statement,
     result.rows.push_back(std::move(row));
   }
   if (statement.order_by_size_desc) {
+    // Ties broken by key (query::KeyOrderLess) so output is stable across
+    // runs — result.rows starts in hash-map order.
     std::sort(result.rows.begin(), result.rows.end(),
               [](const ResultRow& a, const ResultRow& b) {
-                return a.size > b.size;
+                if (a.size != b.size) return a.size > b.size;
+                return KeyOrderLess(a.key, b.key);
               });
   }
   if (statement.limit && result.rows.size() > *statement.limit) {

@@ -150,6 +150,28 @@ void FuzzStateImages(uint64_t seed) {
   }
   EXPECT_EQ(sketch.SerializeState(), good);
 
+  // Version skew: an image sealed by any other format version is foreign —
+  // reject it outright even if everything else lines up (its checksum is
+  // seeded with the version, so no fixup can smuggle it through).
+  for (const uint64_t version :
+       {uint64_t{0}, core::kStateFormatVersion - 1,
+        core::kStateFormatVersion + 1, ~uint64_t{0}}) {
+    std::vector<uint8_t> skewed = good;
+    StoreBE64(skewed.data(), version);
+    EXPECT_FALSE(sketch.RestoreState(skewed)) << "accepted version "
+                                              << version;
+    // Even with the checksum recomputed for the foreign version.
+    const uint64_t d = LoadBE64(skewed.data() + 8);
+    const uint64_t l = LoadBE64(skewed.data() + 16);
+    StoreBE64(skewed.data() + 24,
+              core::StateChecksum(version, d, l,
+                                  skewed.data() + core::kStateHeaderBytes,
+                                  skewed.size() - core::kStateHeaderBytes));
+    EXPECT_FALSE(sketch.RestoreState(skewed)) << "accepted resealed version "
+                                              << version;
+  }
+  EXPECT_EQ(sketch.SerializeState(), good);
+
   // After all those rejections the pristine image must still restore.
   EXPECT_TRUE(sketch.RestoreState(good));
   EXPECT_EQ(sketch.SerializeState(), good);

@@ -80,6 +80,22 @@ TEST(TopRows, SortsDescendingAndTruncates) {
   EXPECT_EQ(rows[2].second, 70u);
 }
 
+TEST(TopRows, EqualSizesOrderedDeterministicallyByKey) {
+  // Equal-size rows used to come out in hash-map iteration order; they must
+  // now follow the KeyOrderLess total order, identically on every run.
+  FlowTable<IPv4Key> table;
+  for (uint32_t i = 0; i < 64; ++i) table[IPv4Key(i * 2654435761u)] = 7;
+  const auto rows = TopRows(table, 64);
+  ASSERT_EQ(rows.size(), 64u);
+  for (size_t i = 0; i + 1 < rows.size(); ++i) {
+    EXPECT_TRUE(KeyOrderLess(rows[i].first, rows[i + 1].first));
+  }
+  // A rebuilt (differently-ordered) table yields the same row sequence.
+  FlowTable<IPv4Key> reversed;
+  for (uint32_t i = 64; i > 0; --i) reversed[IPv4Key((i - 1) * 2654435761u)] = 7;
+  EXPECT_EQ(TopRows(reversed, 64), rows);
+}
+
 TEST(FilterThreshold, KeepsOnlyHeavy) {
   FlowTable<IPv4Key> table;
   table[IPv4Key(1)] = 100;
