@@ -4,6 +4,7 @@
 //
 // CocoSketch and USS cost is independent of the number of keys (one full-key
 // sketch); every per-key baseline's cost grows linearly.
+#include "bench_json.h"
 #include "harness.h"
 
 using namespace coco;
@@ -68,5 +69,22 @@ int main() {
       "Expected shape (paper): Ours and USS flat across keys; Ours ~23.7 "
       "Mpps/core\nand ~27.2x the baselines at 6 keys; USS well below Ours "
       "(aux structures).\n");
+
+  // Machine-readable snapshot for scripts/bench_compare.sh (throughput
+  // only — cycle percentiles are latencies; the ratio headline covers the
+  // cross-algorithm shape).
+  BenchJson json("fig14_cpu");
+  json.Context("packets", std::to_string(trace.size()));
+  for (size_t a = 0; a < names.size(); ++a) {
+    for (size_t k = 0; k < mpps[a].size(); ++k) {
+      json.Metric("fig14/" + names[a] + "/keys" + std::to_string(k + 1) +
+                      "/mpps",
+                  mpps[a][k]);
+    }
+  }
+  json.Metric("fig14/ours_vs_best_baseline_at6/speedup",
+              mpps[0].back() / best_baseline);
+  const char* json_path = std::getenv("COCO_BENCH_JSON");
+  json.Write(json_path ? json_path : "BENCH_fig14_cpu.json");
   return 0;
 }

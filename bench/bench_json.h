@@ -1,0 +1,62 @@
+// Machine-readable bench output: a flat metric map serialized as JSON, the
+// format scripts/bench_compare.sh diffs across runs.
+//
+// Convention: every metric is HIGHER-IS-BETTER (throughput in Mpps, speedup
+// ratios). Latencies go in as their reciprocal rate so one comparison rule
+// covers the whole file. Keys are slash-separated paths
+// ("micro_update/batched_avx2/mpps") so diffs group naturally.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coco::bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Context(const std::string& key, const std::string& value) {
+    context_.emplace_back(key, value);
+  }
+
+  void Metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  // Writes the file atomically enough for a bench run (single rename-free
+  // write; these files are regenerated wholesale). Returns false and prints
+  // to stderr on I/O failure so bench runs never die on a read-only CWD.
+  bool Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_name_.c_str());
+    std::fprintf(f, "  \"context\": {");
+    for (size_t i = 0; i < context_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": \"%s\"", i ? "," : "",
+                   context_[i].first.c_str(), context_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  },\n  \"metrics\": {");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.6f", i ? "," : "",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> context_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace coco::bench

@@ -1,15 +1,28 @@
 // google-benchmark microbenchmarks: per-update latency of every sketch in
 // the library on a realistic packet mix. Complements the figure benches with
 // framework-quality timing (warmup, iteration control, statistics).
+//
+// Before the google-benchmark suite runs, main() prints the SIMD tier table
+// (scalar vs batched vs each tier at the paper's 500 KiB / d=2 operating
+// point, all engines interleaved in ONE process so machine drift between
+// invocations cancels) and writes BENCH_micro_update.json for
+// scripts/bench_compare.sh. Pass --benchmark_filter='^$' to run only the
+// tier table.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "bench_json.h"
+#include "common/cycle_clock.h"
+#include "common/rng.h"
 #include "common/sizes.h"
 #include "core/cocosketch.h"
 #include "core/hw_cocosketch.h"
+#include "hash/multihash.h"
+#include "simd/dispatch.h"
 #include "sketch/count_min.h"
 #include "sketch/count_sketch.h"
 #include "sketch/elastic.h"
@@ -158,7 +171,222 @@ void BM_CocoSketchDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_CocoSketchDecode);
 
+// ---- SIMD tier table (ISSUE 6 acceptance) ----------------------------------
+
+// The PR 1 batched path, preserved verbatim as an in-process baseline:
+// array-of-structs buckets, operator== (memcmp) key compares, the same
+// MultiHash / 32-packet window / prefetch / §4.1 update rule the library
+// shipped before the word-addressable SoA layout and SIMD tiers replaced
+// it. Keeping it in the binary means the "≥1.3× over the PR 1 batched
+// path" bar is measured engine-vs-engine in one process — cross-invocation
+// numbers on a shared box drift by ±30%, interleaved ones don't.
+template <typename Key>
+class Pr1ReferenceSketch {
+ public:
+  static constexpr size_t kMaxD = 8;
+  static constexpr size_t kBatchWindow = 32;
+
+  Pr1ReferenceSketch(size_t memory_bytes, size_t d, uint64_t seed = 0xc0c0)
+      : d_(d),
+        l_(memory_bytes / (d * (Key::kSize + sizeof(uint32_t)))),
+        hash_(seed, d_, l_ == 0 ? 1 : l_),
+        rng_(seed ^ 0x5eedf00d),
+        buckets_(d_ * l_) {}
+
+  template <typename Record>
+  void UpdateBatch(const Record* records, size_t count) {
+    size_t idx[kBatchWindow][kMaxD];
+    for (size_t base = 0; base < count; base += kBatchWindow) {
+      const size_t n =
+          count - base < kBatchWindow ? count - base : kBatchWindow;
+      for (size_t j = 0; j < n; ++j) {
+        const Key& key = records[base + j].key;
+        uint32_t slot[kMaxD];
+        hash_.Slots(key.data(), key.size(), slot);
+        for (size_t i = 0; i < d_; ++i) {
+          idx[j][i] = i * l_ + slot[i];
+          __builtin_prefetch(&buckets_[idx[j][i]], 1, 3);
+        }
+      }
+      for (size_t j = 0; j < n; ++j) {
+        UpdateAt(idx[j], records[base + j].key, records[base + j].weight);
+      }
+    }
+  }
+
+  uint64_t TotalValue() const {
+    uint64_t total = 0;
+    for (const Bucket& b : buckets_) total += b.value;
+    return total;
+  }
+
+ private:
+  struct Bucket {
+    Key key{};
+    uint32_t value = 0;
+  };
+
+  // Verbatim PR 1 UpdateAt, including the per-update bookkeeping the real
+  // path carried (delta-tracking check, replacement counter) — leaving
+  // those out would flatter the new code's speedup.
+  void MarkDirty(size_t i) {
+    if (!dirty_.empty()) dirty_[i] = 1;
+  }
+
+  void UpdateAt(const size_t* idx, const Key& key, uint32_t weight) {
+    for (size_t i = 0; i < d_; ++i) {
+      Bucket& b = buckets_[idx[i]];
+      if (b.value != 0 && b.key == key) {
+        b.value += weight;
+        MarkDirty(idx[i]);
+        return;
+      }
+    }
+    size_t chosen = idx[0];
+    size_t ties = 1;
+    for (size_t i = 1; i < d_; ++i) {
+      const uint32_t v = buckets_[idx[i]].value;
+      const uint32_t best = buckets_[chosen].value;
+      if (v < best) {
+        chosen = idx[i];
+        ties = 1;
+      } else if (v == best) {
+        ++ties;
+        if (rng_.NextBelow(ties) == 0) chosen = idx[i];
+      }
+    }
+    Bucket& b = buckets_[chosen];
+    b.value += weight;
+    MarkDirty(chosen);
+    if (static_cast<uint64_t>(rng_.Next32()) * b.value <
+        (static_cast<uint64_t>(weight) << 32)) {
+      b.key = key;
+      ++key_replacements_;
+    }
+  }
+
+  size_t d_;
+  size_t l_;
+  hash::MultiHash hash_;
+  Rng rng_;
+  std::vector<Bucket> buckets_;
+  std::vector<uint8_t> dirty_;  // empty = delta tracking off, as in PR 1
+  uint64_t key_replacements_ = 0;
+};
+
+struct TierRow {
+  std::string name;
+  std::string json_key;
+};
+
+// One timed full-trace pass on a persistent engine.
+template <typename RunFn>
+double TimeOnePass(size_t packets, RunFn&& run) {
+  Stopwatch watch;
+  run();
+  return watch.ElapsedSeconds() * 1e9 / static_cast<double>(packets);
+}
+
+// Steady-state throughput, best-of-N with all engines interleaved per
+// repetition. Two methodology choices that matter:
+//
+//   * Engines persist across reps (one untimed warmup pass first), so every
+//     rep measures the saturated sketch a continuously-running deployment
+//     operates — pass 1 match rates at equilibrium. Fresh-sketch cold
+//     passes spend their time in the replacement path, where the layouts
+//     barely differ, and under-report the probe-path speedup.
+//   * Every rep touches every engine back to back, so CPU frequency and
+//     neighbor-load drift (±30% across invocations on a shared box) hits
+//     all engines equally and cancels in the ratios.
+void RunTierTable(const char* json_path) {
+  const auto& trace = SharedTrace();
+  const size_t mem = KiB(500);
+  const size_t d = 2;
+  const int reps = 15;
+  const simd::Tier host = simd::DetectTier();
+
+  std::vector<TierRow> rows;
+  rows.push_back({"per-packet (scalar tier)", "per_packet_scalar"});
+  rows.push_back({"batched PR1 reference (AoS)", "batched_pr1_ref"});
+  std::vector<simd::Tier> tiers;
+  for (simd::Tier t :
+       {simd::Tier::kScalar, simd::Tier::kSse2, simd::Tier::kAvx2}) {
+    if (simd::ClampTier(t) != t) continue;
+    tiers.push_back(t);
+    rows.push_back({std::string("batched ") + simd::TierName(t) + " tier",
+                    std::string("batched_") + simd::TierName(t)});
+  }
+
+  core::CocoSketch<FiveTuple> per_packet(mem, d);
+  per_packet.SetSimdTier(simd::Tier::kScalar);
+  Pr1ReferenceSketch<FiveTuple> pr1_ref(mem, d);
+  std::vector<core::CocoSketch<FiveTuple>> batched;
+  batched.reserve(tiers.size());
+  for (simd::Tier t : tiers) {
+    batched.emplace_back(mem, d);
+    batched.back().SetSimdTier(t);
+  }
+  // Warmup to equilibrium occupancy (untimed).
+  for (const Packet& p : trace) per_packet.Update(p.key, p.weight);
+  pr1_ref.UpdateBatch(trace.data(), trace.size());
+  for (auto& sk : batched) sk.UpdateBatch(trace.data(), trace.size());
+
+  std::vector<double> best(rows.size(), 1e18);
+  for (int rep = 0; rep < reps; ++rep) {
+    size_t r = 0;
+    best[r] = std::min(best[r], TimeOnePass(trace.size(), [&] {
+      for (const Packet& p : trace) per_packet.Update(p.key, p.weight);
+    }));
+    ++r;
+    best[r] = std::min(best[r], TimeOnePass(trace.size(), [&] {
+      pr1_ref.UpdateBatch(trace.data(), trace.size());
+    }));
+    ++r;
+    for (auto& sk : batched) {
+      best[r] = std::min(best[r], TimeOnePass(trace.size(), [&] {
+        sk.UpdateBatch(trace.data(), trace.size());
+      }));
+      ++r;
+    }
+    benchmark::DoNotOptimize(pr1_ref.TotalValue());
+  }
+
+  const double ref_ns = best[1];  // PR 1 batched reference
+  std::printf(
+      "\n=== SIMD tier table: CocoSketch<FiveTuple>, %zu pkts, 500 KiB, "
+      "d=%zu, best of %d interleaved ===\n",
+      trace.size(), d, reps);
+  std::printf("host tier: %s\n", simd::TierName(host));
+  std::printf("%-30s %10s %8s %12s\n", "engine", "ns/pkt", "Mpps",
+              "vs PR1 ref");
+  bench::BenchJson json("micro_update");
+  json.Context("host_tier", simd::TierName(host));
+  json.Context("operating_point", "500KiB_d2_FiveTuple");
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const double mpps = 1e3 / best[r];
+    const double speedup = ref_ns / best[r];
+    std::printf("%-30s %10.2f %8.2f %11.2fx\n", rows[r].name.c_str(),
+                best[r], mpps, speedup);
+    json.Metric("micro_update/" + rows[r].json_key + "/mpps", mpps);
+    json.Metric("micro_update/" + rows[r].json_key + "/speedup_vs_pr1",
+                speedup);
+  }
+  const double best_tier_speedup = ref_ns / best.back();
+  std::printf("headline: best tier is %.2fx the PR 1 batched path "
+              "(bar: 1.30x)\n",
+              best_tier_speedup);
+  json.Write(json_path);
+}
+
 }  // namespace
 }  // namespace coco
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* json_path = std::getenv("COCO_BENCH_JSON");
+  coco::RunTierTable(json_path ? json_path : "BENCH_micro_update.json");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,90 +1,87 @@
 #!/usr/bin/env bash
-# Compares CocoSketch scalar vs batched update throughput, and optionally a
-# current run against a saved baseline, so perf PRs can spot regressions.
+# Diffs two BENCH_*.json snapshots (bench/bench_json.h format) and flags
+# regressions, so perf PRs carry evidence instead of anecdotes.
 #
 # Usage:
-#   scripts/bench_compare.sh [BENCH_BINARY] [BASELINE_JSON]
+#   scripts/bench_compare.sh BASELINE.json CURRENT.json [THRESHOLD_PCT]
 #
-#   BENCH_BINARY   path to bench_micro_update (default:
-#                  build/bench/bench_micro_update)
-#   BASELINE_JSON  optional --benchmark_format=json output from a previous
-#                  run; when given, per-benchmark deltas are printed too.
+#   THRESHOLD_PCT  regression threshold in percent (default 5): any metric
+#                  that drops by more than this vs the baseline is flagged
+#                  and the script exits non-zero.
 #
-# The current run's JSON is written to bench_current.json in the working
-# directory; save it as the baseline for the next comparison:
-#   scripts/bench_compare.sh                        # before your change
-#   cp bench_current.json bench_baseline.json
-#   ... apply change, rebuild ...
-#   scripts/bench_compare.sh build/bench/bench_micro_update bench_baseline.json
+# Every metric in these files is higher-is-better by convention (Mpps,
+# speedup ratios), so one comparison rule covers everything.
+#
+# Generating snapshots:
+#   build/bench/bench_micro_update --benchmark_filter='^$'   # tier table only
+#   build/bench/bench_fig14_cpu                              # slower, full roster
+# Each writes its BENCH_*.json into the working directory (override the path
+# via COCO_BENCH_JSON). Typical flow:
+#   git stash && build-and-run -> cp BENCH_micro_update.json /tmp/base.json
+#   git stash pop && build-and-run
+#   scripts/bench_compare.sh /tmp/base.json BENCH_micro_update.json
 set -euo pipefail
 
-BENCH="${1:-build/bench/bench_micro_update}"
-BASELINE="${2:-}"
-OUT="bench_current.json"
-FILTER='BM_CocoSketchUpdate(Scalar|Batched)|BM_HwCocoSketchUpdate'
-
-if [[ ! -x "$BENCH" ]]; then
-  echo "error: bench binary not found at $BENCH (build it first:" >&2
-  echo "  cmake -B build -S . && cmake --build build -j --target bench_micro_update)" >&2
-  exit 1
+if [[ $# -lt 2 ]]; then
+  sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+  exit 2
 fi
 
-echo "running $BENCH (filter: $FILTER) ..." >&2
-"$BENCH" --benchmark_filter="$FILTER" --benchmark_format=json \
-  --benchmark_min_time=0.5 > "$OUT"
+BASELINE="$1"
+CURRENT="$2"
+THRESHOLD="${3:-5}"
 
-python3 - "$OUT" "$BASELINE" <<'EOF'
-import json, sys
+for f in "$BASELINE" "$CURRENT"; do
+  if [[ ! -r "$f" ]]; then
+    echo "error: cannot read $f" >&2
+    exit 1
+  fi
+done
+
+python3 - "$BASELINE" "$CURRENT" "$THRESHOLD" <<'EOF'
+import json
+import sys
+
+base_path, cur_path, threshold_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
 
 def load(path):
     with open(path) as f:
         data = json.load(f)
-    out = {}
-    for b in data.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
-            continue
-        ips = b.get("items_per_second")
-        if ips:
-            out[b["name"]] = ips
-    return out
+    return data.get("bench", "?"), data.get("metrics", {})
 
-current = load(sys.argv[1])
-baseline = load(sys.argv[2]) if len(sys.argv) > 2 and sys.argv[2] else None
+base_name, base = load(base_path)
+cur_name, cur = load(cur_path)
+if base_name != cur_name:
+    print(f"warning: comparing different benches ({base_name} vs {cur_name})")
 
-def fmt(v):
-    return f"{v / 1e6:8.2f}M/s"
+shared = sorted(set(base) & set(cur))
+if not shared:
+    print("error: no shared metrics between the two files", file=sys.stderr)
+    sys.exit(1)
 
-print("\n== scalar -> batched (same build) ==")
-print(f"{'config':>16} {'scalar':>12} {'batched':>12} {'speedup':>8}")
-worst = None
-for name, ips in sorted(current.items()):
-    if "UpdateScalar" not in name:
-        continue
-    partner = name.replace("UpdateScalar", "UpdateBatched")
-    if partner not in current:
-        continue
-    config = name.split("/", 1)[1] if "/" in name else ""
-    ratio = current[partner] / ips
-    print(f"{config:>16} {fmt(ips)} {fmt(current[partner])} {ratio:7.2f}x")
-    if worst is None or ratio < worst[1]:
-        worst = (config, ratio)
-if worst:
-    print(f"\nsmallest scalar->batched speedup: {worst[1]:.2f}x (d/KiB {worst[0]})")
+width = max(len(n) for n in shared)
+print(f"{'metric':<{width}} {'baseline':>12} {'current':>12} {'delta':>8}")
+regressions = []
+for name in shared:
+    b, c = base[name], cur[name]
+    delta = (c / b - 1.0) if b else 0.0
+    flag = ""
+    if delta * 100 < -threshold_pct:
+        flag = "  <-- REGRESSION"
+        regressions.append((name, delta))
+    print(f"{name:<{width}} {b:>12.3f} {c:>12.3f} {delta:>+7.1%}{flag}")
 
-if baseline is not None:
-    print("\n== current vs baseline ==")
-    print(f"{'benchmark':>42} {'baseline':>12} {'current':>12} {'delta':>8}")
-    regressions = 0
-    for name in sorted(current):
-        if name not in baseline:
-            continue
-        delta = current[name] / baseline[name] - 1.0
-        flag = " <-- regression" if delta < -0.10 else ""
-        if delta < -0.10:
-            regressions += 1
-        print(f"{name:>42} {fmt(baseline[name])} {fmt(current[name])} "
-              f"{delta:+7.1%}{flag}")
-    if regressions:
-        print(f"\n{regressions} benchmark(s) regressed by >10% vs baseline")
-        sys.exit(1)
+only_base = sorted(set(base) - set(cur))
+only_cur = sorted(set(cur) - set(base))
+for name in only_base:
+    print(f"{name:<{width}} {base[name]:>12.3f} {'(gone)':>12}")
+for name in only_cur:
+    print(f"{name:<{width}} {'(new)':>12} {cur[name]:>12.3f}")
+
+if regressions:
+    print(f"\n{len(regressions)} metric(s) regressed by more than "
+          f"{threshold_pct:g}% vs {base_path}")
+    sys.exit(1)
+print(f"\nno regressions beyond {threshold_pct:g}% "
+      f"({len(shared)} metrics compared)")
 EOF

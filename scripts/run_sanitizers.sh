@@ -5,12 +5,14 @@
 # code the sanitizers are aimed at:
 #   thread  — TSan over the lock-free SPSC rings, the watchdog's
 #             stall-detect/kill/respawn paths, the batched merge, the
-#             relaxed-atomic metrics registry, and the network-wide
-#             agent/collector transports (ovs_test, batch_test, obs_test,
-#             netwide_test)
+#             relaxed-atomic metrics registry, the network-wide
+#             agent/collector transports, and the SIMD tier's process-default
+#             dispatch state (ovs_test, batch_test, obs_test, netwide_test,
+#             simd_test)
 #   address — ASan+UBSan over the deserializers, fuzz loops, the snapshot
-#             JSON reader, and the frame/delta decoders (fuzz_test plus the
-#             same four, for free)
+#             JSON reader, the frame/delta decoders, and the SIMD kernels'
+#             word loads against the padded SoA key plane (fuzz_test plus
+#             the same five, for free)
 #
 # Usage:
 #   scripts/run_sanitizers.sh            # both presets
@@ -43,8 +45,8 @@ fi
 
 for p in "${presets[@]}"; do
   case "$p" in
-    thread) run_preset thread ovs_test batch_test obs_test netwide_test ;;
-    address) run_preset address fuzz_test ovs_test batch_test obs_test netwide_test ;;
+    thread) run_preset thread ovs_test batch_test obs_test netwide_test simd_test ;;
+    address) run_preset address fuzz_test ovs_test batch_test obs_test netwide_test simd_test ;;
     *)
       echo "unknown preset '$p' (expected: thread | address)" >&2
       exit 2

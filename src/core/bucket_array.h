@@ -1,0 +1,123 @@
+// Word-addressable structure-of-arrays bucket storage for the sketches.
+//
+// The seed layout was an array-of-structs (`vector<Bucket{Key, uint32_t}>`);
+// this splits it into two parallel arrays:
+//
+//   key_words : n * kKeyWords uint64 — each key padded to whole 64-bit words,
+//               pad bytes ALWAYS zero, so word equality <=> byte equality and
+//               SIMD tiers can compare whole words without masking.
+//   values    : n uint32 — densely packed counters, so occupancy scans,
+//               TotalValue and find-next-occupied stream 4-8 counters per
+//               vector load instead of striding over interleaved key bytes.
+//
+// The logical per-bucket footprint (Key::kSize + 4, what a hardware
+// deployment provisions and what memory budgets divide by) and the
+// serialized state-image format are unchanged — padding is an in-memory
+// representation detail only, invisible to geometry and images.
+//
+// Invariant: every mutation path below rewrites the tail word before copying
+// key bytes, so pad bytes can never go stale. Anything writing key_words
+// directly must preserve that.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace coco::core {
+
+// A key lifted to its padded word representation: the probe operand every
+// SIMD key-compare kernel takes. Build once per packet, compare many times.
+template <typename Key>
+struct PaddedKey {
+  static constexpr size_t kWords = Key::kWords;
+
+  uint64_t words[kWords];
+
+  PaddedKey() { std::memset(words, 0, sizeof(words)); }
+  explicit PaddedKey(const Key& k) { k.ToWords(words); }
+};
+
+template <typename Key>
+class BucketArray {
+ public:
+  static constexpr size_t kKeyWords = Key::kWords;
+
+  BucketArray() = default;
+  explicit BucketArray(size_t n) { Reset(n); }
+
+  void Reset(size_t n) {
+    n_ = n;
+    words_.assign(n * kKeyWords, 0);
+    values_.assign(n, 0);
+  }
+
+  void ClearAll() {
+    std::fill(words_.begin(), words_.end(), uint64_t{0});
+    std::fill(values_.begin(), values_.end(), uint32_t{0});
+  }
+
+  size_t size() const { return n_; }
+
+  // Raw views for the SIMD kernels (simd/ops*.h).
+  const uint64_t* key_words() const { return words_.data(); }
+  const uint32_t* values() const { return values_.data(); }
+  // Mutable view for StoreShortKey in the register-probe update path; the
+  // probe's words carry zero pads, so the invariant above holds.
+  uint64_t* mutable_key_words() { return words_.data(); }
+
+  uint32_t Value(size_t i) const { return values_[i]; }
+  void SetValue(size_t i, uint32_t v) { values_[i] = v; }
+  void AddValue(size_t i, uint32_t w) { values_[i] += w; }
+
+  const uint64_t* KeyWords(size_t i) const {
+    return words_.data() + i * kKeyWords;
+  }
+  const uint8_t* KeyBytes(size_t i) const {
+    return reinterpret_cast<const uint8_t*>(KeyWords(i));
+  }
+  Key KeyAt(size_t i) const {
+    Key k{};
+    std::memcpy(k.data(), KeyBytes(i), Key::kSize);
+    return k;
+  }
+
+  void SetKey(size_t i, const Key& k) { SetKeyBytes(i, k.data()); }
+  void SetKeyWords(size_t i, const uint64_t* probe) {
+    std::memcpy(words_.data() + i * kKeyWords, probe, kKeyWords * 8);
+  }
+  void SetKeyBytes(size_t i, const uint8_t* bytes) {
+    uint64_t* dst = words_.data() + i * kKeyWords;
+    dst[kKeyWords - 1] = 0;  // keep pad bytes zero
+    std::memcpy(dst, bytes, Key::kSize);
+  }
+  // Whole-slot copy between arrays (merge / replica apply); pads stay zero
+  // because the source slot's pads are zero.
+  void CopySlotFrom(const BucketArray& src, size_t src_i, size_t dst_i) {
+    std::memcpy(words_.data() + dst_i * kKeyWords,
+                src.words_.data() + src_i * kKeyWords, kKeyWords * 8);
+    values_[dst_i] = src.values_[src_i];
+  }
+
+  bool KeyEquals(size_t i, const uint64_t* probe) const {
+    const uint64_t* slot = KeyWords(i);
+    bool eq = true;
+    for (size_t w = 0; w < kKeyWords; ++w) eq &= slot[w] == probe[w];
+    return eq;
+  }
+
+  // Prefetch both halves of a bucket ahead of the update pass.
+  void Prefetch(size_t i) const {
+    __builtin_prefetch(values_.data() + i, 1, 3);
+    __builtin_prefetch(words_.data() + i * kKeyWords, 1, 3);
+  }
+
+ private:
+  size_t n_ = 0;
+  std::vector<uint64_t> words_;
+  std::vector<uint32_t> values_;
+};
+
+}  // namespace coco::core

@@ -12,6 +12,14 @@
 // with small d (2-4) the update cost is O(d) while estimates stay unbiased
 // with bounded variance (§5). Unbiasedness over arbitrary partial keys is
 // property-tested in tests/cocosketch_test.cpp.
+//
+// Storage is the word-addressable SoA layout of core/bucket_array.h; the
+// hot paths run on the SIMD tier captured at construction (simd/dispatch.h):
+// pass 1's d-way key probe, the batched hash window, and every control-plane
+// scan use the tier's kernels, while all RNG-consuming control flow (pass 2,
+// replacement draws) stays scalar and stream-ordered — so sketch state,
+// including RNG consumption order, is byte-identical on every tier
+// (tests/simd_test.cpp).
 #pragma once
 
 #include <algorithm>
@@ -24,21 +32,23 @@
 #include "common/bytes.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/batch_window.h"
+#include "core/bucket_array.h"
 #include "core/sketch_stats.h"
 #include "core/state_image.h"
 #include "hash/multihash.h"
+#include "simd/dispatch.h"
+#include "simd/ops.h"
 
 namespace coco::core {
 
 template <typename Key>
 class CocoSketch {
  public:
-  struct Bucket {
-    Key key{};
-    uint32_t value = 0;
-  };
+  using KeyType = Key;
 
   static constexpr size_t kMaxD = 8;
+  static constexpr size_t kKeyWords = BucketArray<Key>::kKeyWords;
 
   // Packets per software-pipeline window in UpdateBatch: large enough to
   // cover DRAM latency with outstanding prefetches, small enough that the
@@ -46,7 +56,9 @@ class CocoSketch {
   static constexpr size_t kBatchWindow = 32;
 
   // Logical per-bucket footprint (key bytes + 32-bit counter), the layout a
-  // hardware deployment would use; memory budgets are divided by this.
+  // hardware deployment would use; memory budgets are divided by this. The
+  // in-memory word padding of BucketArray deliberately does NOT count —
+  // geometry (and therefore state images) stays identical to the seed.
   static constexpr size_t BucketBytes() {
     return Key::kSize + sizeof(uint32_t);
   }
@@ -57,6 +69,7 @@ class CocoSketch {
         seed_(seed),
         hash_(seed, d_, l_ == 0 ? 1 : l_),
         rng_(seed ^ 0x5eedf00d),
+        tier_(simd::ActiveTier()),
         buckets_(d_ * l_) {
     COCO_CHECK(d_ >= 1 && d_ <= kMaxD, "d out of range");
     COCO_CHECK(l_ >= 1, "memory too small for one bucket per array");
@@ -71,32 +84,13 @@ class CocoSketch {
   }
 
   // Batched fast path: processes records (anything with `.key` convertible
-  // to Key and a uint32_t `.weight`, e.g. coco::Packet) in windows of
-  // kBatchWindow. Phase 1 computes every mapped index for the window and
-  // issues software prefetches; phase 2 runs the exact scalar update logic
-  // against now-resident lines. Hashing has no side effects and phase 2
-  // processes packets in stream order, so the resulting state — including
+  // to Key and a uint32_t `.weight`, e.g. coco::Packet) through the shared
+  // hash+prefetch window pipeline (core/batch_window.h). State — including
   // RNG consumption order — is byte-identical to per-packet Update() calls
   // (state-equality-tested in tests/batch_test.cpp).
   template <typename Record>
   void UpdateBatch(const Record* records, size_t count) {
-    size_t idx[kBatchWindow][kMaxD];
-    for (size_t base = 0; base < count; base += kBatchWindow) {
-      const size_t n =
-          count - base < kBatchWindow ? count - base : kBatchWindow;
-      for (size_t j = 0; j < n; ++j) {
-        const Key& key = records[base + j].key;
-        uint32_t slot[kMaxD];
-        hash_.Slots(key.data(), key.size(), slot);
-        for (size_t i = 0; i < d_; ++i) {
-          idx[j][i] = i * l_ + slot[i];
-          __builtin_prefetch(&buckets_[idx[j][i]], 1, 3);
-        }
-      }
-      for (size_t j = 0; j < n; ++j) {
-        UpdateAt(idx[j], records[base + j].key, records[base + j].weight);
-      }
-    }
+    detail::BatchDriver::Run(*this, records, count);
   }
 
   template <typename Record>
@@ -110,28 +104,33 @@ class CocoSketch {
   uint64_t Query(const Key& key) const {
     uint32_t slot[kMaxD];
     hash_.Slots(key.data(), key.size(), slot);
-    for (size_t i = 0; i < d_; ++i) {
-      const Bucket& b = buckets_[i * l_ + slot[i]];
-      if (b.value != 0 && b.key == key) return b.value;
-    }
-    return 0;
+    size_t idx[kMaxD];
+    for (size_t i = 0; i < d_; ++i) idx[i] = i * l_ + slot[i];
+    const PaddedKey<Key> probe(key);
+    const int match = simd::FindMatch<kKeyWords>(
+        tier_, buckets_.key_words(), buckets_.values(), idx, d_, probe.words);
+    return match < 0 ? 0 : buckets_.Value(idx[match]);
   }
 
   // Step 3 of the workflow (Fig. 1): the (FullKey, Size) table of all
-  // recorded flows, input to the partial-key query front-end.
+  // recorded flows, input to the partial-key query front-end. The occupied
+  // buckets are enumerated with the tier's find-next-occupied scan, so empty
+  // runs cost a vector compare instead of a branch per bucket.
   std::unordered_map<Key, uint64_t> Decode() const {
     std::unordered_map<Key, uint64_t> out;
     out.reserve(buckets_.size());
-    for (const Bucket& b : buckets_) {
-      if (b.value == 0) continue;
-      auto [it, inserted] = out.emplace(b.key, b.value);
-      if (!inserted) it->second += b.value;
+    const uint32_t* values = buckets_.values();
+    const size_t n = buckets_.size();
+    for (size_t i = simd::FindNextNonZero(tier_, values, n, 0); i < n;
+         i = simd::FindNextNonZero(tier_, values, n, i + 1)) {
+      auto [it, inserted] = out.emplace(buckets_.KeyAt(i), values[i]);
+      if (!inserted) it->second += values[i];
     }
     return out;
   }
 
   void Clear() {
-    for (Bucket& b : buckets_) b = Bucket{};
+    buckets_.ClearAll();
     key_replacements_ = 0;
     MarkAllDirty();
   }
@@ -141,12 +140,19 @@ class CocoSketch {
   size_t l() const { return l_; }
   uint64_t seed() const { return seed_; }
 
+  // The SIMD tier this instance runs on. Captured from the process default
+  // at construction; override (clamped to what the CPU supports) to compare
+  // tiers on one host. Switching tiers never changes sketch state — only
+  // how fast the same state is computed.
+  simd::Tier SimdTier() const { return tier_; }
+  void SetSimdTier(simd::Tier t) { tier_ = simd::ClampTier(t); }
+
   // Raw bucket readout for the control-plane merge path (core/merge.h).
   // Bucket index b of array i lives at i*l + b.
-  std::span<const Bucket> Buckets() const { return buckets_; }
+  const BucketArray<Key>& Buckets() const { return buckets_; }
   // Mutable access is merge-only: anything else writing buckets directly
   // bypasses the update rule and voids the unbiasedness guarantees.
-  std::span<Bucket> MutableBuckets() { return buckets_; }
+  BucketArray<Key>& MutableBuckets() { return buckets_; }
 
   // ---- Delta-sync dirty tracking (net/delta.h) ----------------------------
   // When enabled, every bucket whose value changes is flagged; the network
@@ -167,10 +173,10 @@ class CocoSketch {
   }
 
   // Occupancy / load-factor / churn introspection (core/sketch_stats.h) —
-  // a control-plane scan of the bucket array, no hot-path bookkeeping
+  // a control-plane scan of the counter array, no hot-path bookkeeping
   // beyond the key-replacement counter.
   SketchStats Stats() const {
-    SketchStats stats = ComputeBucketStats(buckets_, d_, l_);
+    SketchStats stats = ComputeBucketStats(tier_, buckets_.values(), d_, l_);
     stats.key_replacements = key_replacements_;
     return stats;
   }
@@ -178,9 +184,7 @@ class CocoSketch {
   // Total recorded weight — conservation is a tested invariant: every
   // packet's weight lands in exactly one bucket.
   uint64_t TotalValue() const {
-    uint64_t total = 0;
-    for (const Bucket& b : buckets_) total += b.value;
-    return total;
+    return simd::SumU32(tier_, buckets_.values(), buckets_.size());
   }
 
   // Control-plane readout: a flat image of the bucket state (checksummed
@@ -188,16 +192,7 @@ class CocoSketch {
   // core/state_image.h), the payload a switch would ship to the controller —
   // and the checkpoint format the OVS datapath recovers from.
   std::vector<uint8_t> SerializeState() const {
-    std::vector<uint8_t> out(kStateHeaderBytes);
-    out.reserve(kStateHeaderBytes + buckets_.size() * BucketBytes());
-    for (const Bucket& b : buckets_) {
-      out.insert(out.end(), b.key.data(), b.key.data() + Key::kSize);
-      uint8_t value[4];
-      StoreBE32(value, b.value);
-      out.insert(out.end(), value, value + 4);
-    }
-    SealStateImage(d_, l_, &out);
-    return out;
+    return SerializeBucketImage(buckets_, Key::kSize, d_, l_);
   }
 
   // Rejects truncated, geometry-mismatched, and bit-flipped images without
@@ -208,38 +203,94 @@ class CocoSketch {
                             buckets_.size() * BucketBytes())) {
       return false;
     }
-    const uint8_t* p = image.data() + kStateHeaderBytes;
-    for (Bucket& b : buckets_) {
-      std::memcpy(b.key.data(), p, Key::kSize);
-      b.value = LoadBE32(p + Key::kSize);
-      p += BucketBytes();
-    }
+    RestoreBucketImage(image, Key::kSize, &buckets_);
     MarkAllDirty();
     return true;
   }
 
  private:
+  friend struct detail::BatchDriver;
+
   // The scalar update rule of §4.1, operating on precomputed absolute
   // bucket indices (array i's slot offset by i*l). Shared verbatim by
-  // Update() and UpdateBatch() so the two paths cannot drift.
+  // Update() and UpdateBatch() so the two paths cannot drift: both route
+  // through the policy template below, dispatching the tier once (per
+  // packet here, per window in the batch driver). Pass 1 is the tier's
+  // d-way probe kernel; pass 2 consumes RNG draws and stays scalar so
+  // every tier consumes them in the same order.
   void UpdateAt(const size_t* idx, const Key& key, uint32_t weight) {
+    switch (tier_) {
+      case simd::Tier::kAvx2:
+        UpdateAtAvx2(idx, key, weight);
+        break;
+      case simd::Tier::kSse2:
+        UpdateAtOps<simd::Sse2Ops>(idx, key, weight);
+        break;
+      case simd::Tier::kScalar:
+        UpdateAtOps<simd::ScalarOps>(idx, key, weight);
+        break;
+    }
+  }
+
+  // Target-attributed trampoline: AVX2 kernels can only inline into a
+  // caller that itself carries the target attribute.
+  COCO_TARGET_AVX2 void UpdateAtAvx2(const size_t* idx, const Key& key,
+                                     uint32_t weight) {
+    UpdateAtOps<simd::Avx2Ops>(idx, key, weight);
+  }
+
+  // Pass 1 probes with the policy's key representation: keys of <= 16 bytes
+  // ride the register probe (no stack round-trip — see simd/ops_scalar.h on
+  // the store-to-load-forwarding stall that avoids), wider keys the padded
+  // word array. Both produce the exact stored byte layout, so the resulting
+  // state is identical either way.
+  //
+  // kD: compile-time d for the batch driver's specialized instantiations
+  // (0 = runtime d_). With d a constant the probe and min-scan loops unroll
+  // to straight-line code — worth a few percent at the paper's d=2.
+  template <typename Ops, size_t kD = 0>
+  COCO_FORCE_INLINE void UpdateAtOps(const size_t* idx, const Key& key,
+                                     uint32_t weight) {
+    const size_t d = kD == 0 ? d_ : kD;
+    if constexpr (Key::kSize <= 16) {
+      const auto probe = Ops::template MakeProbe<Key::kSize>(key.data());
+      const int match = Ops::template FindMatchShort<Key::kSize>(
+          buckets_.key_words(), buckets_.values(), idx, d, probe);
+      ApplyRule(idx, d, weight, match, [&](size_t chosen) {
+        Ops::template StoreKey<Key::kSize>(buckets_.mutable_key_words(),
+                                           chosen, probe);
+      });
+    } else {
+      const PaddedKey<Key> probe(key);
+      const int match = Ops::template FindMatch<kKeyWords>(
+          buckets_.key_words(), buckets_.values(), idx, d, probe.words);
+      ApplyRule(idx, d, weight, match, [&](size_t chosen) {
+        buckets_.SetKeyWords(chosen, probe.words);
+      });
+    }
+  }
+
+  // The probe-representation-independent body of §4.1. Pass 1's result comes
+  // in as `match`; `store_key` writes the probe into a bucket slot on
+  // replacement.
+  template <typename StoreFn>
+  COCO_FORCE_INLINE void ApplyRule(const size_t* idx, size_t d,
+                                   uint32_t weight, int match,
+                                   StoreFn&& store_key) {
     // Pass 1: if the flow is already tracked, increment it — variance
     // increment zero (Theorem 2).
-    for (size_t i = 0; i < d_; ++i) {
-      Bucket& b = buckets_[idx[i]];
-      if (b.value != 0 && b.key == key) {
-        b.value += weight;
-        MarkDirty(idx[i]);
-        return;
-      }
+    if (match >= 0) {
+      buckets_.AddValue(idx[match], weight);
+      MarkDirty(idx[match]);
+      return;
     }
     // Pass 2: smallest mapped bucket, ties broken uniformly at random
     // (reservoir over equal minima, as §4.1 specifies).
     size_t chosen = idx[0];
     size_t ties = 1;
-    for (size_t i = 1; i < d_; ++i) {
-      const uint32_t v = buckets_[idx[i]].value;
-      const uint32_t best = buckets_[chosen].value;
+    for (size_t i = 1; i < d; ++i) {
+      const uint32_t v = buckets_.Value(idx[i]);
+      const uint32_t best = buckets_.Value(chosen);
       if (v < best) {
         chosen = idx[i];
         ties = 1;
@@ -248,14 +299,13 @@ class CocoSketch {
         if (rng_.NextBelow(ties) == 0) chosen = idx[i];
       }
     }
-    Bucket& b = buckets_[chosen];
-    b.value += weight;
+    buckets_.AddValue(chosen, weight);
     MarkDirty(chosen);
     // Replace with probability weight / V_new, computed in exact integer
     // arithmetic: replace iff rand32 * V < weight * 2^32.
-    if (static_cast<uint64_t>(rng_.Next32()) * b.value <
+    if (static_cast<uint64_t>(rng_.Next32()) * buckets_.Value(chosen) <
         (static_cast<uint64_t>(weight) << 32)) {
-      b.key = key;
+      store_key(chosen);
       ++key_replacements_;
     }
   }
@@ -265,7 +315,8 @@ class CocoSketch {
   uint64_t seed_;
   hash::MultiHash hash_;
   Rng rng_;
-  std::vector<Bucket> buckets_;
+  simd::Tier tier_;
+  BucketArray<Key> buckets_;
   std::vector<uint8_t> dirty_;  // empty = delta tracking off
   uint64_t key_replacements_ = 0;
 };

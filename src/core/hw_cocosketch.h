@@ -15,6 +15,13 @@
 // Division mode selects how the replacement probability is realized:
 //   kExact       — full-width reciprocal (FPGA variant, §6.1);
 //   kApproximate — Tofino math-unit top-4-bit reciprocal (P4 variant, §6.2).
+//
+// Storage and SIMD tiering mirror CocoSketch: word-addressable SoA buckets
+// (core/bucket_array.h), the d-way key-equality mask computed by the tier's
+// kernel, RNG-consuming replacement draws scalar and array-ordered — state
+// is byte-identical on every tier. The per-array mask is safe to precompute
+// before the increments because array i only ever writes bucket range
+// [i*l, (i+1)*l): no array's key write can affect another array's compare.
 #pragma once
 
 #include <algorithm>
@@ -27,10 +34,14 @@
 #include "common/bytes.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/batch_window.h"
+#include "core/bucket_array.h"
 #include "core/sketch_stats.h"
 #include "core/state_image.h"
 #include "hash/multihash.h"
 #include "hw/approx_divider.h"
+#include "simd/dispatch.h"
+#include "simd/ops.h"
 
 namespace coco::core {
 
@@ -42,12 +53,10 @@ enum class DivisionMode {
 template <typename Key>
 class HwCocoSketch {
  public:
-  struct Bucket {
-    Key key{};
-    uint32_t value = 0;
-  };
+  using KeyType = Key;
 
   static constexpr size_t kMaxD = 8;
+  static constexpr size_t kKeyWords = BucketArray<Key>::kKeyWords;
   static constexpr size_t kBatchWindow = 32;
 
   static constexpr size_t BucketBytes() {
@@ -63,6 +72,7 @@ class HwCocoSketch {
         seed_(seed),
         hash_(seed, d_, l_ == 0 ? 1 : l_),
         rng_(seed ^ 0x5eedf11d),
+        tier_(simd::ActiveTier()),
         buckets_(d_ * l_) {
     COCO_CHECK(d_ >= 1 && d_ <= kMaxD, "d out of range");
     COCO_CHECK(l_ >= 1, "memory too small for one bucket per array");
@@ -76,28 +86,11 @@ class HwCocoSketch {
     UpdateAt(idx, key, weight);
   }
 
-  // Batched fast path, mirroring CocoSketch::UpdateBatch: hash + prefetch a
-  // window of kBatchWindow packets, then run the scalar per-array logic in
-  // stream order (state byte-identical to scalar Update calls).
+  // Batched fast path through the shared hash+prefetch window pipeline
+  // (core/batch_window.h) — state byte-identical to scalar Update calls.
   template <typename Record>
   void UpdateBatch(const Record* records, size_t count) {
-    size_t idx[kBatchWindow][kMaxD];
-    for (size_t base = 0; base < count; base += kBatchWindow) {
-      const size_t n =
-          count - base < kBatchWindow ? count - base : kBatchWindow;
-      for (size_t j = 0; j < n; ++j) {
-        const Key& key = records[base + j].key;
-        uint32_t slot[kMaxD];
-        hash_.Slots(key.data(), key.size(), slot);
-        for (size_t i = 0; i < d_; ++i) {
-          idx[j][i] = i * l_ + slot[i];
-          __builtin_prefetch(&buckets_[idx[j][i]], 1, 3);
-        }
-      }
-      for (size_t j = 0; j < n; ++j) {
-        UpdateAt(idx[j], records[base + j].key, records[base + j].weight);
-      }
-    }
+    detail::BatchDriver::Run(*this, records, count);
   }
 
   template <typename Record>
@@ -110,8 +103,11 @@ class HwCocoSketch {
   uint64_t EstimateInArray(size_t array, const Key& key) const {
     uint32_t slot[kMaxD];
     hash_.Slots(key.data(), key.size(), slot);
-    const Bucket& b = buckets_[array * l_ + slot[array]];
-    return (b.value != 0 && b.key == key) ? b.value : 0;
+    const PaddedKey<Key> probe(key);
+    const size_t idx = array * l_ + slot[array];
+    return (buckets_.Value(idx) != 0 && buckets_.KeyEquals(idx, probe.words))
+               ? buckets_.Value(idx)
+               : 0;
   }
 
   // §4.3: "since one flow may appear in multiple arrays, we will take the
@@ -123,11 +119,13 @@ class HwCocoSketch {
   uint64_t Query(const Key& key) const {
     uint32_t slot[kMaxD];
     hash_.Slots(key.data(), key.size(), slot);
+    const PaddedKey<Key> probe(key);
     uint64_t est[kMaxD];
     size_t recorded = 0;
     for (size_t i = 0; i < d_; ++i) {
-      const Bucket& b = buckets_[i * l_ + slot[i]];
-      if (b.value != 0 && b.key == key) est[recorded++] = b.value;
+      const size_t idx = i * l_ + slot[i];
+      const uint32_t v = buckets_.Value(idx);
+      if (v != 0 && buckets_.KeyEquals(idx, probe.words)) est[recorded++] = v;
     }
     return recorded == 0 ? 0 : Median(est, recorded);
   }
@@ -139,10 +137,12 @@ class HwCocoSketch {
   uint64_t UnbiasedQuery(const Key& key) const {
     uint32_t slot[kMaxD];
     hash_.Slots(key.data(), key.size(), slot);
+    const PaddedKey<Key> probe(key);
     uint64_t est[kMaxD];
     for (size_t i = 0; i < d_; ++i) {
-      const Bucket& b = buckets_[i * l_ + slot[i]];
-      est[i] = (b.value != 0 && b.key == key) ? b.value : 0;
+      const size_t idx = i * l_ + slot[i];
+      const uint32_t v = buckets_.Value(idx);
+      est[i] = (v != 0 && buckets_.KeyEquals(idx, probe.words)) ? v : 0;
     }
     return Median(est, d_);
   }
@@ -151,9 +151,11 @@ class HwCocoSketch {
   std::unordered_map<Key, uint64_t> Decode() const {
     std::unordered_map<Key, uint64_t> out;
     out.reserve(buckets_.size());
-    for (const Bucket& b : buckets_) {
-      if (b.value == 0) continue;
-      out.emplace(b.key, 0);  // dedupe first, score below
+    const uint32_t* values = buckets_.values();
+    const size_t n = buckets_.size();
+    for (size_t i = simd::FindNextNonZero(tier_, values, n, 0); i < n;
+         i = simd::FindNextNonZero(tier_, values, n, i + 1)) {
+      out.emplace(buckets_.KeyAt(i), 0);  // dedupe first, score below
     }
     for (auto& [key, est] : out) est = Query(key);
     // Median-of-zeros can score a recorded key at 0; drop those — they are
@@ -165,7 +167,7 @@ class HwCocoSketch {
   }
 
   void Clear() {
-    for (Bucket& b : buckets_) b = Bucket{};
+    buckets_.ClearAll();
     key_replacements_ = 0;
     MarkAllDirty();
   }
@@ -176,10 +178,14 @@ class HwCocoSketch {
   uint64_t seed() const { return seed_; }
   DivisionMode division() const { return division_; }
 
+  // SIMD tier control; see CocoSketch::SimdTier.
+  simd::Tier SimdTier() const { return tier_; }
+  void SetSimdTier(simd::Tier t) { tier_ = simd::ClampTier(t); }
+
   // Raw bucket readout for the control-plane merge path (core/merge.h).
-  std::span<const Bucket> Buckets() const { return buckets_; }
+  const BucketArray<Key>& Buckets() const { return buckets_; }
   // Mutable access is merge-only (see CocoSketch::MutableBuckets).
-  std::span<Bucket> MutableBuckets() { return buckets_; }
+  BucketArray<Key>& MutableBuckets() { return buckets_; }
 
   // Delta-sync dirty tracking (net/delta.h); see CocoSketch. The hardware
   // variant writes all d mapped buckets per packet, so its deltas are up to
@@ -201,7 +207,7 @@ class HwCocoSketch {
   // Note the hardware variant's total_value exceeds the stream mass: every
   // array increments its mapped bucket, so mass is recorded d times.
   SketchStats Stats() const {
-    SketchStats stats = ComputeBucketStats(buckets_, d_, l_);
+    SketchStats stats = ComputeBucketStats(tier_, buckets_.values(), d_, l_);
     stats.key_replacements = key_replacements_;
     return stats;
   }
@@ -209,16 +215,7 @@ class HwCocoSketch {
   // Same checksummed control-plane image format as
   // CocoSketch::SerializeState (core/state_image.h).
   std::vector<uint8_t> SerializeState() const {
-    std::vector<uint8_t> out(kStateHeaderBytes);
-    out.reserve(kStateHeaderBytes + buckets_.size() * BucketBytes());
-    for (const Bucket& b : buckets_) {
-      out.insert(out.end(), b.key.data(), b.key.data() + Key::kSize);
-      uint8_t value[4];
-      StoreBE32(value, b.value);
-      out.insert(out.end(), value, value + 4);
-    }
-    SealStateImage(d_, l_, &out);
-    return out;
+    return SerializeBucketImage(buckets_, Key::kSize, d_, l_);
   }
 
   // Rejects truncated, geometry-mismatched, and bit-flipped images without
@@ -228,40 +225,94 @@ class HwCocoSketch {
                             buckets_.size() * BucketBytes())) {
       return false;
     }
-    const uint8_t* p = image.data() + kStateHeaderBytes;
-    for (Bucket& b : buckets_) {
-      std::memcpy(b.key.data(), p, Key::kSize);
-      b.value = LoadBE32(p + Key::kSize);
-      p += BucketBytes();
-    }
+    RestoreBucketImage(image, Key::kSize, &buckets_);
     MarkAllDirty();
     return true;
   }
 
  private:
+  friend struct detail::BatchDriver;
+
   static uint64_t Median(uint64_t* v, size_t n) {
     std::sort(v, v + n);
     return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2;
   }
 
   // The §4.2 per-array rule on precomputed absolute bucket indices; shared
-  // by Update and UpdateBatch so the two paths cannot drift.
+  // by Update and UpdateBatch so the two paths cannot drift — both route
+  // through the policy template, dispatching the tier once (per packet
+  // here, per window in the batch driver). The d key compares happen in one
+  // tier-kernel call up front (arrays write disjoint bucket ranges, so no
+  // increment or key write below can invalidate the mask); the RNG draws
+  // stay scalar and array-ordered on every tier.
   void UpdateAt(const size_t* idx, const Key& key, uint32_t weight) {
-    for (size_t i = 0; i < d_; ++i) {
-      Bucket& b = buckets_[idx[i]];
+    switch (tier_) {
+      case simd::Tier::kAvx2:
+        UpdateAtAvx2(idx, key, weight);
+        break;
+      case simd::Tier::kSse2:
+        UpdateAtOps<simd::Sse2Ops>(idx, key, weight);
+        break;
+      case simd::Tier::kScalar:
+        UpdateAtOps<simd::ScalarOps>(idx, key, weight);
+        break;
+    }
+  }
+
+  // Target-attributed trampoline so the AVX2 kernels can inline.
+  COCO_TARGET_AVX2 void UpdateAtAvx2(const size_t* idx, const Key& key,
+                                     uint32_t weight) {
+    UpdateAtOps<simd::Avx2Ops>(idx, key, weight);
+  }
+
+  // Like CocoSketch::UpdateAtOps, the probe representation splits on key
+  // width: <= 16 bytes rides the register probe, wider keys the padded word
+  // array. Both produce the exact stored byte layout. kD mirrors
+  // CocoSketch::UpdateAtOps: compile-time d from the batch driver's
+  // specialized instantiations, 0 = runtime d_.
+  template <typename Ops, size_t kD = 0>
+  COCO_FORCE_INLINE void UpdateAtOps(const size_t* idx, const Key& key,
+                                     uint32_t weight) {
+    const size_t d = kD == 0 ? d_ : kD;
+    if constexpr (Key::kSize <= 16) {
+      const auto probe = Ops::template MakeProbe<Key::kSize>(key.data());
+      const uint32_t eq = Ops::template KeyEqMaskShort<Key::kSize>(
+          buckets_.key_words(), idx, d, probe);
+      ApplyRule(idx, d, weight, eq, [&](size_t chosen) {
+        Ops::template StoreKey<Key::kSize>(buckets_.mutable_key_words(),
+                                           chosen, probe);
+      });
+    } else {
+      const PaddedKey<Key> probe(key);
+      const uint32_t eq = Ops::template KeyEqMask<kKeyWords>(
+          buckets_.key_words(), idx, d, probe.words);
+      ApplyRule(idx, d, weight, eq, [&](size_t chosen) {
+        buckets_.SetKeyWords(chosen, probe.words);
+      });
+    }
+  }
+
+  // The probe-representation-independent body of §4.2: per-array increment
+  // plus reciprocal replacement draw; `store_key` writes the probe into a
+  // bucket slot on replacement.
+  template <typename StoreFn>
+  COCO_FORCE_INLINE void ApplyRule(const size_t* idx, size_t d,
+                                   uint32_t weight, uint32_t eq,
+                                   StoreFn&& store_key) {
+    for (size_t i = 0; i < d; ++i) {
       // Value stage: unconditional increment — no dependence on the key.
-      b.value += weight;
+      buckets_.AddValue(idx[i], weight);
       MarkDirty(idx[i]);
-      if (b.key == key) continue;  // matching key needs no replacement draw
+      if ((eq >> i) & 1) continue;  // matching key needs no replacement draw
       // Key stage: replace w.p. weight / V_new via reciprocal comparison,
       // exactly as the hardware pipelines execute it.
       const uint32_t recip =
           division_ == DivisionMode::kExact
-              ? hw::ApproxDivider::ExactReciprocal(b.value)
-              : hw::ApproxDivider::Reciprocal(b.value);
+              ? hw::ApproxDivider::ExactReciprocal(buckets_.Value(idx[i]))
+              : hw::ApproxDivider::Reciprocal(buckets_.Value(idx[i]));
       const uint64_t threshold = static_cast<uint64_t>(recip) * weight;
       if (static_cast<uint64_t>(rng_.Next32()) < threshold) {
-        b.key = key;
+        store_key(idx[i]);
         ++key_replacements_;
       }
     }
@@ -273,7 +324,8 @@ class HwCocoSketch {
   uint64_t seed_;
   hash::MultiHash hash_;
   Rng rng_;
-  std::vector<Bucket> buckets_;
+  simd::Tier tier_;
+  BucketArray<Key> buckets_;
   std::vector<uint8_t> dirty_;  // empty = delta tracking off
   uint64_t key_replacements_ = 0;
 };

@@ -39,6 +39,7 @@
 #include "common/rng.h"
 #include "core/cocosketch.h"
 #include "core/hw_cocosketch.h"
+#include "simd/ops.h"
 
 namespace coco::core {
 
@@ -52,30 +53,32 @@ struct MergeStats {
 
 namespace internal {
 
-// The shared bucket-pair rule. `dst` accumulates `src`.
-template <typename Bucket>
-void MergeBucket(Bucket* dst, const Bucket& src, Rng* rng, MergeStats* stats) {
-  if (src.value == 0) return;
-  if (dst->value == 0) {
-    *dst = src;
+// The shared bucket-pair rule for occupied source slot `i` (callers skip
+// empty source slots). `dst` accumulates `src`.
+template <typename BucketArrayT>
+void MergeSlot(BucketArrayT* dst, const BucketArrayT& src, size_t i, Rng* rng,
+               MergeStats* stats) {
+  const uint32_t src_value = src.Value(i);
+  if (dst->Value(i) == 0) {
+    dst->CopySlotFrom(src, i, i);
     ++stats->copied;
     return;
   }
   const uint64_t sum =
-      static_cast<uint64_t>(dst->value) + static_cast<uint64_t>(src.value);
-  if (dst->key == src.key) {
+      static_cast<uint64_t>(dst->Value(i)) + static_cast<uint64_t>(src_value);
+  if (dst->KeyEquals(i, src.KeyWords(i))) {
     ++stats->matched;
   } else {
     ++stats->conflicts;
     // Keep src's key with probability src.value / (dst.value + src.value) —
     // exact integer arithmetic, no doubles.
-    if (rng->NextBelow(sum) < src.value) dst->key = src.key;
+    if (rng->NextBelow(sum) < src_value) dst->SetKeyWords(i, src.KeyWords(i));
   }
   if (sum > UINT32_MAX) {
-    dst->value = UINT32_MAX;
+    dst->SetValue(i, UINT32_MAX);
     ++stats->saturated;
   } else {
-    dst->value = static_cast<uint32_t>(sum);
+    dst->SetValue(i, static_cast<uint32_t>(sum));
   }
 }
 
@@ -86,10 +89,18 @@ MergeStats MergeBucketArrays(Sketch* dst, const Sketch& src, Rng* rng) {
       dst->seed() != src.seed()) {
     return stats;  // ok == false, dst untouched
   }
-  auto dst_buckets = dst->MutableBuckets();
-  auto src_buckets = src.Buckets();
-  for (size_t i = 0; i < dst_buckets.size(); ++i) {
-    MergeBucket(&dst_buckets[i], src_buckets[i], rng, &stats);
+  auto& dst_buckets = dst->MutableBuckets();
+  const auto& src_buckets = src.Buckets();
+  // Empty source slots consume no RNG draw, so skipping them with the
+  // tier's find-next-occupied scan merges a sparse shard in time
+  // proportional to its occupancy while drawing the exact same RNG
+  // sequence as a full walk.
+  const uint32_t* src_values = src_buckets.values();
+  const size_t n = src_buckets.size();
+  const simd::Tier tier = dst->SimdTier();
+  for (size_t i = simd::FindNextNonZero(tier, src_values, n, 0); i < n;
+       i = simd::FindNextNonZero(tier, src_values, n, i + 1)) {
+    MergeSlot(&dst_buckets, src_buckets, i, rng, &stats);
   }
   dst->MarkAllDirty();
   stats.ok = true;

@@ -41,6 +41,13 @@ class ShardedCocoSketch {
 
   size_t num_shards() const { return shards_.size(); }
 
+  // SIMD tier passthrough: every shard runs the same tier (shards capture
+  // the process default at construction; see CocoSketch::SimdTier).
+  simd::Tier SimdTier() const { return shards_[0]->SimdTier(); }
+  void SetSimdTier(simd::Tier t) {
+    for (auto& s : shards_) s->SetSimdTier(t);
+  }
+
   // The shard a worker thread owns. Each worker updates only its own shard.
   CocoSketch<Key>& shard(size_t index) { return *shards_[index]; }
   const CocoSketch<Key>& shard(size_t index) const { return *shards_[index]; }

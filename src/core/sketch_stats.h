@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "simd/ops.h"
+
 namespace coco::core {
 
 struct SketchStats {
@@ -29,26 +31,25 @@ struct SketchStats {
   std::vector<size_t> per_array_occupied;  // one entry per array (d entries)
 };
 
-// Shared scan over the (key, value) bucket layout both sketch variants use.
-// `buckets` is the flat d*l array, array i occupying [i*l, (i+1)*l).
-template <typename BucketVector>
-SketchStats ComputeBucketStats(const BucketVector& buckets, size_t d,
-                               size_t l) {
+// Shared scan over the SoA counter array both sketch variants use (`values`
+// is the flat d*l array, array i occupying [i*l, (i+1)*l)). Each statistic
+// is one streaming kernel over the densely packed counters — the SIMD tiers
+// process 4-8 counters per step, and since keys live in a separate array
+// the scan never touches key bytes at all.
+inline SketchStats ComputeBucketStats(simd::Tier tier, const uint32_t* values,
+                                      size_t d, size_t l) {
   SketchStats stats;
+  const size_t total = d * l;
   stats.arrays = d;
-  stats.buckets_total = buckets.size();
+  stats.buckets_total = total;
   stats.per_array_occupied.assign(d, 0);
-  uint32_t min_value = UINT32_MAX;
-  for (size_t i = 0; i < buckets.size(); ++i) {
-    const uint32_t value = buckets[i].value;
-    if (value == 0) continue;
-    ++stats.buckets_occupied;
-    ++stats.per_array_occupied[i / l];
-    stats.total_value += value;
-    if (value > stats.max_bucket_value) stats.max_bucket_value = value;
-    if (value < min_value) min_value = value;
+  for (size_t i = 0; i < d; ++i) {
+    stats.per_array_occupied[i] = simd::CountNonZero(tier, values + i * l, l);
+    stats.buckets_occupied += stats.per_array_occupied[i];
   }
-  if (stats.buckets_occupied != 0) stats.min_occupied_value = min_value;
+  stats.total_value = simd::SumU32(tier, values, total);
+  stats.max_bucket_value = simd::MaxU32(tier, values, total);
+  stats.min_occupied_value = simd::MinNonZeroU32(tier, values, total);
   if (stats.buckets_total != 0) {
     stats.load_factor = static_cast<double>(stats.buckets_occupied) /
                         static_cast<double>(stats.buckets_total);

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/bytes.h"
@@ -61,6 +62,42 @@ inline bool ValidateStateImage(const std::vector<uint8_t>& image, uint64_t d,
   return LoadBE64(image.data() + 24) ==
          StateChecksum(kStateFormatVersion, d, l,
                        image.data() + kStateHeaderBytes, body_bytes);
+}
+
+// Serializes a word-addressable bucket array (core/bucket_array.h) into a
+// sealed image. The body layout — key bytes then BE32 value per bucket, in
+// index order — is EXACTLY the seed's array-of-structs format: the in-memory
+// word padding never reaches the wire, so images interoperate across layout
+// generations and stay byte-identical across SIMD tiers. Shared by both
+// sketch variants (previously two copies of the loop).
+template <typename BucketArrayT>
+std::vector<uint8_t> SerializeBucketImage(const BucketArrayT& buckets,
+                                          size_t key_size, uint64_t d,
+                                          uint64_t l) {
+  const size_t bucket_bytes = key_size + 4;
+  std::vector<uint8_t> out(kStateHeaderBytes + buckets.size() * bucket_bytes);
+  uint8_t* p = out.data() + kStateHeaderBytes;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    std::memcpy(p, buckets.KeyBytes(i), key_size);
+    StoreBE32(p + key_size, buckets.Value(i));
+    p += bucket_bytes;
+  }
+  SealStateImage(d, l, &out);
+  return out;
+}
+
+// Loads a validated image's body back into the bucket array. Callers must
+// run ValidateStateImage first; this only moves bytes.
+template <typename BucketArrayT>
+void RestoreBucketImage(const std::vector<uint8_t>& image, size_t key_size,
+                        BucketArrayT* buckets) {
+  const size_t bucket_bytes = key_size + 4;
+  const uint8_t* p = image.data() + kStateHeaderBytes;
+  for (size_t i = 0; i < buckets->size(); ++i) {
+    buckets->SetKeyBytes(i, p);
+    buckets->SetValue(i, LoadBE32(p + key_size));
+    p += bucket_bytes;
+  }
 }
 
 // Header peek for tools that receive an image without knowing the geometry

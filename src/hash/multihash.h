@@ -68,6 +68,9 @@ class MultiHash {
   size_t d() const { return d_; }
   size_t width() const { return width_; }
   uint64_t seed() const { return seed_; }
+  // Precomputed per-array salts (d() entries). Exposed so vectorized slot
+  // kernels (simd/hash_avx2.h) can replicate Slots() bit-for-bit.
+  const uint64_t* salts() const { return salt_; }
 
  private:
   // Flow keys are at most 16 bytes (5-tuple: 13; DynKey payloads: <= 16),

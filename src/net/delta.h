@@ -46,9 +46,9 @@ constexpr size_t DeltaEntryBytes() {
 template <typename Sketch>
 std::vector<uint8_t> BuildDeltaPayload(const Sketch& sketch,
                                        uint64_t base_epoch) {
-  using Key = decltype(Sketch::Bucket::key);
+  using Key = typename Sketch::KeyType;
   const auto& dirty = sketch.DirtyFlags();
-  const auto buckets = sketch.Buckets();
+  const auto& buckets = sketch.Buckets();
   uint32_t count = 0;
   for (const uint8_t flag : dirty) count += flag != 0;
 
@@ -63,8 +63,8 @@ std::vector<uint8_t> BuildDeltaPayload(const Sketch& sketch,
   for (size_t i = 0; i < dirty.size(); ++i) {
     if (dirty[i] == 0) continue;
     StoreBE32(p, static_cast<uint32_t>(i));
-    std::memcpy(p + 4, buckets[i].key.data(), Key::kSize);
-    StoreBE32(p + 4 + Key::kSize, buckets[i].value);
+    std::memcpy(p + 4, buckets.KeyBytes(i), Key::kSize);
+    StoreBE32(p + 4 + Key::kSize, buckets.Value(i));
     p += DeltaEntryBytes<Sketch>();
   }
   return out;
@@ -102,7 +102,7 @@ bool PeekDeltaInfo(const std::vector<uint8_t>& payload, DeltaInfo* info) {
 template <typename Sketch>
 bool ApplyDeltaPayload(const std::vector<uint8_t>& payload, Sketch* replica,
                        DeltaInfo* info) {
-  using Key = decltype(Sketch::Bucket::key);
+  using Key = typename Sketch::KeyType;
   if (payload.size() < kDeltaHeaderBytes) return false;
   if (LoadBE32(payload.data()) != replica->d() ||
       LoadBE32(payload.data() + 4) != replica->l()) {
@@ -125,12 +125,12 @@ bool ApplyDeltaPayload(const std::vector<uint8_t>& payload, Sketch* replica,
     prev = index;
     first = false;
   }
-  auto buckets = replica->MutableBuckets();
+  auto& buckets = replica->MutableBuckets();
   p = payload.data() + kDeltaHeaderBytes;
   for (uint32_t i = 0; i < count; ++i) {
     const uint32_t index = LoadBE32(p);
-    std::memcpy(buckets[index].key.data(), p + 4, Key::kSize);
-    buckets[index].value = LoadBE32(p + 4 + Key::kSize);
+    buckets.SetKeyBytes(index, p + 4);
+    buckets.SetValue(index, LoadBE32(p + 4 + Key::kSize));
     p += DeltaEntryBytes<Sketch>();
   }
   if (info != nullptr) {

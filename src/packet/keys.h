@@ -12,6 +12,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
 
@@ -24,12 +25,26 @@ namespace coco {
 template <size_t N>
 struct FixedKey {
   static constexpr size_t kSize = N;
+  // Word-addressable view: keys occupy kWords zero-padded 64-bit words in
+  // the sketch bucket arrays (core/bucket_array.h), so SIMD key compares
+  // operate on whole words and word equality coincides with byte equality.
+  static constexpr size_t kWords = (N + 7) / 8;
+  static constexpr size_t kPaddedSize = kWords * 8;
 
   std::array<uint8_t, N> bytes{};
 
   const uint8_t* data() const { return bytes.data(); }
   uint8_t* data() { return bytes.data(); }
   static constexpr size_t size() { return N; }
+
+  // Writes the key as kWords little-endian-loaded words, tail zero-padded —
+  // the exact slot representation the bucket arrays store.
+  void ToWords(uint64_t* out) const {
+    if constexpr (N > 0) {
+      out[kWords - 1] = 0;  // only the tail word has pad bytes
+      std::memcpy(out, bytes.data(), N);
+    }
+  }
 
   // Word-wise equality: the bucket-probe hot loop compares a packet key
   // against d candidate bucket keys per packet, so this compiles to 1-2

@@ -1,0 +1,142 @@
+// Runtime SIMD tier selection for the sketch hot paths.
+//
+// Three tiers — AVX2, SSE2, scalar — implement the same kernel contracts
+// (simd/ops.h) with bit-identical results; the tier only changes how fast
+// the answer is computed, never the answer. Selection order:
+//
+//   1. Compile-time ceiling: the COCO_SIMD CMake knob can compile out the
+//      vector tiers entirely (scalar) or cap at SSE2 (portable CI artifacts
+//      never need -march=native — AVX2 code is emitted via per-function
+//      target attributes and only executed after a CPUID check).
+//   2. Runtime detection: __builtin_cpu_supports caps the tier at what the
+//      host actually executes. SSE2 is architectural on x86-64.
+//   3. COCO_SIMD environment override: "scalar" | "sse2" | "avx2", clamped
+//      to the detected ceiling so requesting avx2 on an SSE2-only box
+//      degrades instead of faulting. This keeps every tier testable on any
+//      machine (the byte-identical-state matrix in tests/simd_test.cpp).
+//
+// Sketches capture ActiveTier() at construction (override per instance via
+// SetSimdTier), so a running sketch never observes a tier change mid-stream.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+// COCO_SIMD_X86: the vector tiers are compiled in at all.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(COCO_SIMD_FORCE_SCALAR)
+#define COCO_SIMD_X86 1
+#else
+#define COCO_SIMD_X86 0
+#endif
+
+// COCO_SIMD_HAVE_AVX2: the AVX2 tier is compiled in (CMake can cap at SSE2).
+#if COCO_SIMD_X86 && !defined(COCO_SIMD_NO_AVX2)
+#define COCO_SIMD_HAVE_AVX2 1
+#else
+#define COCO_SIMD_HAVE_AVX2 0
+#endif
+
+// Per-function target attribute: lets AVX2 intrinsics live in headers built
+// without global -mavx2 flags, so the binary stays runnable on any x86-64.
+#if COCO_SIMD_HAVE_AVX2
+#define COCO_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define COCO_TARGET_AVX2
+#endif
+
+// Forces a baseline-ISA helper to inline into tier-attributed callers. GCC's
+// inliner otherwise leaves the sketches' per-packet update rule outlined
+// inside the per-window apply loop (the rule's kernel-policy call is
+// uninlinable until AFTER the rule lands in an attributed caller, and the
+// inliner doesn't revisit), which costs two calls per packet on the hot path.
+#if defined(__GNUC__) || defined(__clang__)
+#define COCO_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define COCO_FORCE_INLINE inline
+#endif
+
+namespace coco::simd {
+
+enum class Tier : uint8_t {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+inline const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+// Best tier this build + this CPU can execute.
+inline Tier DetectTier() {
+#if COCO_SIMD_X86
+#if COCO_SIMD_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+#endif
+  // SSE2 is part of the x86-64 baseline ABI; no probe needed there, and the
+  // 32-bit case still answers honestly.
+  if (__builtin_cpu_supports("sse2")) return Tier::kSse2;
+#endif
+  return Tier::kScalar;
+}
+
+// Parses a COCO_SIMD-style tier name. Returns false on unknown input.
+inline bool ParseTier(const char* s, Tier* out) {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = Tier::kScalar;
+  } else if (std::strcmp(s, "sse2") == 0) {
+    *out = Tier::kSse2;
+  } else if (std::strcmp(s, "avx2") == 0) {
+    *out = Tier::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Clamp a requested tier to what this build + CPU can execute: asking for
+// avx2 on an SSE2-only box degrades instead of faulting.
+inline Tier ClampTier(Tier t) {
+  const Tier detected = DetectTier();
+  return t < detected ? t : detected;
+}
+
+// Detection + COCO_SIMD env override, clamped to the detected ceiling.
+inline Tier ResolveTier() {
+  const Tier detected = DetectTier();
+  Tier requested;
+  if (ParseTier(std::getenv("COCO_SIMD"), &requested)) {
+    return requested < detected ? requested : detected;
+  }
+  return detected;
+}
+
+namespace internal {
+inline Tier& ActiveTierSlot() {
+  static Tier tier = ResolveTier();
+  return tier;
+}
+}  // namespace internal
+
+// The process-wide default tier new sketches pick up. Resolved once (env +
+// CPUID) on first use.
+inline Tier ActiveTier() { return internal::ActiveTierSlot(); }
+
+// Test hook: force the process default (clamped to what the CPU supports).
+// Call before constructing the sketches that should use it; existing
+// sketches keep the tier they captured.
+inline void SetActiveTier(Tier t) { internal::ActiveTierSlot() = ClampTier(t); }
+
+}  // namespace coco::simd

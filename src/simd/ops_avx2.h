@@ -1,0 +1,197 @@
+// AVX2 tier of the kernel contracts in ops_scalar.h.
+//
+// Compiled via per-function target attributes (COCO_TARGET_AVX2) so no
+// global -mavx2 / -march=native flag is needed and the binary stays portable;
+// callers must only reach these after simd::DetectTier() reports kAvx2.
+//
+// The payoff cases:
+//   * wide keys (V6Tuple, 40-byte slots): 32 bytes per compare step.
+//   * counter scans (sum / occupancy / find-next-occupied): 8 lanes per step.
+//   * the 4-wide hash window (simd/hash_avx2.h) that rides this tier.
+// Keys of <= 16 bytes deliberately route to the SSE2 compare: pairing two
+// bucket rows into one 256-bit compare was measured SLOWER than two early-
+// exiting 128-bit compares (the gather of two scattered rows plus the
+// cross-lane movemask outweighs the saved compare, and the early exit skips
+// the second row's cache line on roughly half of all matches).
+//
+// Everything is exact integer arithmetic — results are bit-identical to the
+// scalar tier, which tests/simd_test.cpp enforces.
+#pragma once
+
+#include "simd/dispatch.h"
+#include "simd/ops_scalar.h"
+#include "simd/ops_sse2.h"
+
+#if COCO_SIMD_HAVE_AVX2
+#include <immintrin.h>
+
+namespace coco::simd::avx2 {
+
+// 32-byte lane equality (4 padded words).
+COCO_TARGET_AVX2 inline bool Eq256(const uint64_t* a, const uint64_t* b) {
+  const __m256i cmp = _mm256_cmpeq_epi64(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b)));
+  return _mm256_movemask_epi8(cmp) == -1;
+}
+
+template <size_t W>
+COCO_TARGET_AVX2 inline bool KeyEq(const uint64_t* slot,
+                                   const uint64_t* probe) {
+  if constexpr (W == 1) {
+    return slot[0] == probe[0];
+  } else if constexpr (W == 2) {
+    return sse2::Eq128(slot, probe);
+  } else {
+    bool eq = true;
+    size_t w = 0;
+    for (; w + 4 <= W; w += 4) eq &= Eq256(slot + w, probe + w);
+    for (; w + 2 <= W; w += 2) eq &= sse2::Eq128(slot + w, probe + w);
+    if constexpr (W % 2 != 0) eq &= slot[W - 1] == probe[W - 1];
+    return eq;
+  }
+}
+
+template <size_t W>
+COCO_TARGET_AVX2 inline int FindMatch(const uint64_t* keys,
+                                      const uint32_t* values,
+                                      const size_t* idx, size_t d,
+                                      const uint64_t* probe) {
+  if constexpr (W <= 2) {
+    return sse2::FindMatch<W>(keys, values, idx, d, probe);
+  } else {
+    for (size_t i = 0; i < d; ++i) {
+      if (values[idx[i]] != 0 && KeyEq<W>(keys + idx[i] * W, probe)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+}
+
+template <size_t W>
+COCO_TARGET_AVX2 inline uint32_t KeyEqMask(const uint64_t* keys,
+                                           const size_t* idx, size_t d,
+                                           const uint64_t* probe) {
+  if constexpr (W <= 2) {
+    return sse2::KeyEqMask<W>(keys, idx, d, probe);
+  } else {
+    uint32_t mask = 0;
+    for (size_t i = 0; i < d; ++i) {
+      mask |= static_cast<uint32_t>(KeyEq<W>(keys + idx[i] * W, probe)) << i;
+    }
+    return mask;
+  }
+}
+
+COCO_TARGET_AVX2 inline uint64_t SumU32(const uint32_t* v, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    acc = _mm256_add_epi64(acc, _mm256_unpacklo_epi32(x, zero));
+    acc = _mm256_add_epi64(acc, _mm256_unpackhi_epi32(x, zero));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) total += v[i];
+  return total;
+}
+
+COCO_TARGET_AVX2 inline size_t CountNonZero(const uint32_t* v, size_t n) {
+  size_t zeros = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const int zmask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(x, zero)));
+    zeros += static_cast<size_t>(__builtin_popcount(zmask));
+  }
+  size_t count = i - zeros;
+  for (; i < n; ++i) count += v[i] != 0;
+  return count;
+}
+
+COCO_TARGET_AVX2 inline size_t FindNextNonZero(const uint32_t* v, size_t n,
+                                               size_t from) {
+  size_t i = from;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const int zmask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(x, zero)));
+    if (zmask != 0xFF) {
+      return i + static_cast<size_t>(__builtin_ctz(~zmask & 0xFF));
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] != 0) return i;
+  }
+  return n;
+}
+
+COCO_TARGET_AVX2 inline uint32_t MaxU32(const uint32_t* v, size_t n) {
+  __m256i best = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    best = _mm256_max_epu32(
+        best, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+  }
+  alignas(32) uint32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best);
+  uint32_t out = 0;
+  for (uint32_t lane : lanes) out = lane > out ? lane : out;
+  for (; i < n; ++i) out = v[i] > out ? v[i] : out;
+  return out;
+}
+
+COCO_TARGET_AVX2 inline uint32_t MinNonZeroU32(const uint32_t* v, size_t n) {
+  // Zero lanes are masked up to UINT32_MAX so they never win the min.
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i best = _mm256_set1_epi32(-1);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i masked = _mm256_or_si256(x, _mm256_cmpeq_epi32(x, zero));
+    best = _mm256_min_epu32(best, masked);
+  }
+  alignas(32) uint32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best);
+  uint32_t out = UINT32_MAX;
+  bool any = false;
+  for (uint32_t lane : lanes) {
+    if (lane != UINT32_MAX) {
+      any = true;
+      if (lane < out) out = lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] != 0) {
+      any = true;
+      if (v[i] < out) out = v[i];
+    }
+  }
+  // A real UINT32_MAX counter is indistinguishable from the mask in the
+  // vector pass; rescan scalar in that (vanishingly rare) case.
+  if (!any) {
+    return scalar::MinNonZeroU32(v, n);
+  }
+  return out;
+}
+
+}  // namespace coco::simd::avx2
+
+#else  // !COCO_SIMD_HAVE_AVX2
+
+namespace coco::simd::avx2 {
+using namespace coco::simd::sse2;
+}  // namespace coco::simd::avx2
+
+#endif  // COCO_SIMD_HAVE_AVX2

@@ -1,0 +1,216 @@
+// SSE2 tier of the kernel contracts in ops_scalar.h.
+//
+// SSE2 is part of the x86-64 baseline ABI, so these compile with no extra
+// target flags and run on every x86-64 host — this tier is the portable
+// vector floor. Keys compare 16 bytes (2 padded words) per instruction;
+// counter scans process 4 lanes per step. Results are bit-identical to the
+// scalar tier by construction (equality and integer sums are exact).
+//
+// When the build has no x86 vector tiers (COCO_SIMD_X86 == 0) this header
+// aliases the scalar implementations so callers can name the tier
+// unconditionally.
+#pragma once
+
+#include "simd/dispatch.h"
+#include "simd/ops_scalar.h"
+
+#if COCO_SIMD_X86
+#include <emmintrin.h>
+
+namespace coco::simd::sse2 {
+
+// 16-byte lane equality: both pointers must have 16 readable bytes.
+inline bool Eq128(const uint64_t* a, const uint64_t* b) {
+  const __m128i cmp = _mm_cmpeq_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(a)),
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(b)));
+  return _mm_movemask_epi8(cmp) == 0xFFFF;
+}
+
+// ---- Register probe for 9..16-byte keys ------------------------------------
+// The padded two-word key built in one xmm register: low word from the first
+// 8 bytes, high word from an overlapping tail load shifted so the pad bytes
+// read zero. No stack round-trip, so the 16-byte compare never waits on a
+// failed store-to-load forward. Keys of <= 8 bytes use the scalar probe
+// (a single-word compare gains nothing from vectors).
+template <size_t kSize>
+struct ShortProbe {
+  __m128i v;
+};
+
+template <size_t kSize>
+inline ShortProbe<kSize> MakeShortProbe(const uint8_t* key) {
+  static_assert(kSize > 8 && kSize <= 16);
+  const __m128i a =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(key));
+  const __m128i b = _mm_srli_epi64(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(key + kSize - 8)),
+      (16 - kSize) * 8);
+  return ShortProbe<kSize>{_mm_unpacklo_epi64(a, b)};
+}
+
+template <size_t kSize>
+inline bool KeyEqShort(const uint64_t* slot, const ShortProbe<kSize>& p) {
+  const __m128i cmp = _mm_cmpeq_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(slot)), p.v);
+  return _mm_movemask_epi8(cmp) == 0xFFFF;
+}
+
+template <size_t kSize>
+inline int FindMatchShort(const uint64_t* keys, const uint32_t* values,
+                          const size_t* idx, size_t d,
+                          const ShortProbe<kSize>& p) {
+  // Branchless accumulation, same rationale as the scalar tier: the hit
+  // array index is data-dependent, so an early exit mispredicts ~once per
+  // matched packet while both candidate lines are already prefetched.
+  uint32_t mask = 0;
+  for (size_t i = 0; i < d; ++i) {
+    const uint32_t hit =
+        static_cast<uint32_t>(values[idx[i]] != 0) &
+        static_cast<uint32_t>(KeyEqShort<kSize>(keys + idx[i] * 2, p));
+    mask |= hit << i;
+  }
+  return mask == 0 ? -1 : __builtin_ctz(mask);
+}
+
+template <size_t kSize>
+inline uint32_t KeyEqMaskShort(const uint64_t* keys, const size_t* idx,
+                               size_t d, const ShortProbe<kSize>& p) {
+  uint32_t mask = 0;
+  for (size_t i = 0; i < d; ++i) {
+    mask |= static_cast<uint32_t>(KeyEqShort<kSize>(keys + idx[i] * 2, p))
+            << i;
+  }
+  return mask;
+}
+
+template <size_t kSize>
+inline void StoreShortKey(uint64_t* keys, size_t bucket,
+                          const ShortProbe<kSize>& p) {
+  // One 16-byte store writes both padded words; the pad bytes in the
+  // register are already zero.
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(keys + bucket * 2), p.v);
+}
+
+template <size_t W>
+inline bool KeyEq(const uint64_t* slot, const uint64_t* probe) {
+  if constexpr (W == 1) {
+    return slot[0] == probe[0];
+  } else {
+    bool eq = true;
+    size_t w = 0;
+    for (; w + 2 <= W; w += 2) eq &= Eq128(slot + w, probe + w);
+    if constexpr (W % 2 != 0) eq &= slot[W - 1] == probe[W - 1];
+    return eq;
+  }
+}
+
+template <size_t W>
+inline int FindMatch(const uint64_t* keys, const uint32_t* values,
+                     const size_t* idx, size_t d, const uint64_t* probe) {
+  for (size_t i = 0; i < d; ++i) {
+    if (values[idx[i]] != 0 && KeyEq<W>(keys + idx[i] * W, probe)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+template <size_t W>
+inline uint32_t KeyEqMask(const uint64_t* keys, const size_t* idx, size_t d,
+                          const uint64_t* probe) {
+  uint32_t mask = 0;
+  for (size_t i = 0; i < d; ++i) {
+    mask |= static_cast<uint32_t>(KeyEq<W>(keys + idx[i] * W, probe)) << i;
+  }
+  return mask;
+}
+
+inline uint64_t SumU32(const uint32_t* v, size_t n) {
+  // Widen pairs of 32-bit lanes into 64-bit accumulators so the sum cannot
+  // wrap (n * UINT32_MAX needs 64 bits exactly like the scalar tier).
+  __m128i acc = _mm_setzero_si128();
+  const __m128i zero = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    acc = _mm_add_epi64(acc, _mm_unpacklo_epi32(x, zero));
+    acc = _mm_add_epi64(acc, _mm_unpackhi_epi32(x, zero));
+  }
+  alignas(16) uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  uint64_t total = lanes[0] + lanes[1];
+  for (; i < n; ++i) total += v[i];
+  return total;
+}
+
+inline size_t CountNonZero(const uint32_t* v, size_t n) {
+  size_t zeros = 0;
+  const __m128i zero = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi32(x, zero));
+    zeros += static_cast<size_t>(__builtin_popcount(mask)) / 4;
+  }
+  size_t count = (i / 4) * 4 - zeros;
+  for (; i < n; ++i) count += v[i] != 0;
+  return count;
+}
+
+inline size_t FindNextNonZero(const uint32_t* v, size_t n, size_t from) {
+  size_t i = from;
+  // Align the chunked scan down to whole vectors of the remaining range.
+  const __m128i zero = _mm_setzero_si128();
+  for (; i + 4 <= n; i += 4) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    const int zmask = _mm_movemask_epi8(_mm_cmpeq_epi32(x, zero));
+    if (zmask != 0xFFFF) {
+      // Some lane is non-zero: first lane whose 4-bit group isn't all set.
+      for (size_t lane = 0; lane < 4; ++lane) {
+        if (((zmask >> (lane * 4)) & 0xF) != 0xF) return i + lane;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] != 0) return i;
+  }
+  return n;
+}
+
+inline uint32_t MaxU32(const uint32_t* v, size_t n) {
+  // SSE2 has no unsigned 32-bit max; flip the sign bit so signed compares
+  // order unsigned values correctly.
+  const __m128i flip = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  __m128i best = flip;  // flipped representation of 0
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i x = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i)), flip);
+    const __m128i gt = _mm_cmpgt_epi32(x, best);
+    best = _mm_or_si128(_mm_and_si128(gt, x), _mm_andnot_si128(gt, best));
+  }
+  alignas(16) uint32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), best);
+  uint32_t out = 0;
+  for (uint32_t lane : lanes) {
+    const uint32_t u = lane ^ 0x80000000u;  // undo the sign-bit flip
+    if (u > out) out = u;
+  }
+  for (; i < n; ++i) out = v[i] > out ? v[i] : out;
+  return out;
+}
+
+inline uint32_t MinNonZeroU32(const uint32_t* v, size_t n) {
+  return scalar::MinNonZeroU32(v, n);
+}
+
+}  // namespace coco::simd::sse2
+
+#else  // !COCO_SIMD_X86
+
+namespace coco::simd::sse2 {
+using namespace coco::simd::scalar;
+}  // namespace coco::simd::sse2
+
+#endif  // COCO_SIMD_X86

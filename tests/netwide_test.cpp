@@ -74,17 +74,17 @@ TEST(Merge, MismatchRejected) {
 
 TEST(Merge, ValueSaturatesInsteadOfWrapping) {
   CocoSketch<IPv4Key> a(KiB(1), 1, 5), b(KiB(1), 1, 5);
-  auto ab = a.MutableBuckets();
-  auto bb = b.MutableBuckets();
-  ab[0].key = IPv4Key(1);
-  ab[0].value = UINT32_MAX - 10;
-  bb[0].key = IPv4Key(1);
-  bb[0].value = 100;
+  auto& ab = a.MutableBuckets();
+  auto& bb = b.MutableBuckets();
+  ab.SetKey(0, IPv4Key(1));
+  ab.SetValue(0, UINT32_MAX - 10);
+  bb.SetKey(0, IPv4Key(1));
+  bb.SetValue(0, 100);
   Rng rng(1);
   const MergeStats stats = MergeSketches(&a, b, &rng);
   ASSERT_TRUE(stats.ok);
   EXPECT_EQ(stats.saturated, 1u);
-  EXPECT_EQ(a.Buckets()[0].value, UINT32_MAX);
+  EXPECT_EQ(a.Buckets().Value(0), UINT32_MAX);
 }
 
 // The acceptance-criterion property test: over repeated trials, estimates
@@ -239,7 +239,9 @@ TEST(Merge, HwVariantMergesPerArray) {
   // independently, so per-array bucket sums are the conserved quantity.
   auto array_mass = [](const HwCocoSketch<FiveTuple>& s, size_t array) {
     uint64_t total = 0;
-    for (size_t j = 0; j < s.l(); ++j) total += s.Buckets()[array * s.l() + j].value;
+    for (size_t j = 0; j < s.l(); ++j) {
+      total += s.Buckets().Value(array * s.l() + j);
+    }
     return total;
   };
   const uint64_t total0 = array_mass(a, 0) + array_mass(b, 0);
