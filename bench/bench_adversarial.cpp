@@ -1,0 +1,315 @@
+// Adversarial-workload bench (docs/ROBUSTNESS.md): accuracy and throughput
+// under hostile traffic, across the three deployment postures the hardening
+// work distinguishes:
+//
+//   fixed    — the historical fixed-seed deployment (seed 0xc0c0 baked into
+//              the binary), no detection. The white-box attacker crafts
+//              against exactly this seed and hits.
+//   random   — keyed hashing: per-run entropy seed, online detection on.
+//              The same source-code-reading attacker still crafts against
+//              0xc0c0 and misses every bucket vector.
+//   rotate   — the strongest adversary: somehow knows the LIVE entropy seed
+//              (leak, side channel) and crafts against it. Detection
+//              confirms the collision attack and seed rotation swaps the
+//              epoch out from under the crafted key set.
+//
+// Workloads: honest Zipf background; white-box collision crafting against
+// the background's heavy hitters; a flash crowd of fresh flows; uniform
+// no-heavy-tail flood. Every workload carries exact ground truth, so
+// accuracy is scored identically to the honest benches (ARE / F1 over the
+// true heavy hitters, metrics/accuracy.h).
+//
+// The bench is also the CI hostile-trace smoke gate: it exits non-zero when
+//   * the detector misses a real attack in a detection-enabled posture
+//     (false negative),
+//   * the detector confirms an attack on honest traffic (false positive),
+//   * a seed rotation fails to conserve sketch mass, or
+//   * the fixed-seed collision column does NOT blow up vs honest while the
+//     rotate column does not stay within 2x of its honest ARE — i.e. the
+//     hardening claim itself.
+//
+// Scale via COCO_BENCH_PACKETS (default 400k honest packets; CI smoke runs
+// use ~60k).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/cycle_clock.h"
+#include "common/rng.h"
+#include "common/sizes.h"
+#include "core/attack_monitor.h"
+#include "core/cocosketch.h"
+#include "core/seed_rotation.h"
+#include "harness.h"
+#include "metrics/accuracy.h"
+#include "trace/adversarial.h"
+#include "trace/generators.h"
+#include "trace/ground_truth.h"
+
+namespace coco::bench {
+namespace {
+
+constexpr uint64_t kFixedSeed = 0xc0c0;
+constexpr size_t kMemory = 16 * 1024;  // same memory in every cell
+
+struct RunResult {
+  metrics::Accuracy acc;  // vs true heavy hitters of the full hostile trace
+  // ARE over the HONEST workload's heavy hitters only (the flows the
+  // measurement exists to protect): mean |est - true| / true, est = 0 for
+  // evicted flows. The full-stream ARE above counts the attacker's own
+  // crafted flows as traffic to be measured accurately — correct for F1,
+  // but it lets an attacker inflate the metric with flows nobody defends.
+  double victim_are = 0.0;
+  double mpps = 0.0;
+  size_t collision_confirms = 0;
+  size_t churn_confirms = 0;
+  size_t rotations = 0;
+  bool rotation_conserved = true;
+};
+
+// Feeds `packets` through a sketch seeded `sketch_seed`, with optional
+// windowed detection and rotate-on-collision-confirm response.
+RunResult RunCell(const std::vector<Packet>& packets, uint64_t sketch_seed,
+                  bool detect, bool rotate,
+                  const trace::ExactCounter<FiveTuple>& truth,
+                  uint64_t threshold,
+                  const std::vector<FiveTuple>& protected_flows) {
+  core::CocoSketch<FiveTuple> sketch(kMemory, 2, sketch_seed);
+  core::AttackMonitor::Options options;
+  options.min_window_updates = 2048;
+  core::AttackMonitor monitor(options);
+  const uint64_t window = 8192;
+  uint64_t since = 0;
+
+  RunResult result;
+  Stopwatch wall;
+  for (const Packet& p : packets) {
+    sketch.Update(p.key, p.weight);
+    if (detect && ++since >= window) {
+      since = 0;
+      const auto verdict = monitor.ObserveWindow(sketch.Stats());
+      if (verdict == core::AttackMonitor::Verdict::kCollisionConfirmed) {
+        ++result.collision_confirms;
+        if (rotate) {
+          const auto stats = core::RotateSeed(&sketch, RandomSeed());
+          ++result.rotations;
+          result.rotation_conserved &= stats.mass_conserved;
+          monitor.Reset(sketch.Stats());
+        }
+      } else if (verdict ==
+                 core::AttackMonitor::Verdict::kChurnFloodConfirmed) {
+        ++result.churn_confirms;
+      }
+    }
+  }
+  const double seconds = wall.ElapsedSeconds();
+  result.mpps =
+      seconds == 0.0
+          ? 0.0
+          : static_cast<double>(packets.size()) / seconds / 1e6;
+  const auto decoded = sketch.Decode();
+  result.acc = metrics::ScoreThreshold(decoded, truth.counts(), threshold);
+  double err_sum = 0.0;
+  size_t scored = 0;
+  for (const FiveTuple& flow : protected_flows) {
+    const double real = double(truth.Count(flow));
+    if (real == 0.0) continue;  // flow absent from this workload
+    const auto it = decoded.find(flow);
+    const double est = it == decoded.end() ? 0.0 : double(it->second);
+    err_sum += std::abs(est - real) / real;
+    ++scored;
+  }
+  result.victim_are = scored == 0 ? 0.0 : err_sum / scored;
+  return result;
+}
+
+struct Workload {
+  std::string name;
+  std::vector<Packet> packets;  // may be empty: collision crafts per cell
+  bool is_attack = false;       // detection-enabled cells must confirm
+};
+
+int Run() {
+  const size_t honest_packets = BenchPackets(400'000);
+  trace::TraceConfig config = trace::TraceConfig::CaidaLike(honest_packets);
+  // Few enough flows that the structure runs below saturation — the regime
+  // per-queue partitions are provisioned for, and the one where the
+  // occupancy-stall signal separates crafted collisions from honest load.
+  config.num_flows = 400;
+  config.num_networks = 32;
+  const auto honest = trace::GenerateTrace(config);
+  const size_t attack_packets = honest_packets;  // 1:1 attack interleave
+  const uint64_t entropy_seed = RandomSeed();
+
+  // Victims: the honest workload's top flows (the attacker can estimate
+  // these externally; they are exactly the flows worth distorting).
+  trace::ExactCounter<FiveTuple> honest_truth;
+  for (const Packet& p : honest) honest_truth.Add(p.key, p.weight);
+  auto hh = honest_truth.HeavyHitters(1);
+  std::sort(hh.begin(), hh.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<FiveTuple> victims;
+  for (size_t i = 0; i < hh.size() && i < 10; ++i) {
+    victims.push_back(hh[i].first);
+  }
+
+  // Crafting a collision set against a given seed (the per-cell attacker).
+  core::CocoSketch<FiveTuple> geometry_probe(kMemory, 2, kFixedSeed);
+  const size_t l = geometry_probe.l();
+  const auto craft = [&](uint64_t target_seed) {
+    return trace::CraftCollisionKeys(target_seed, 2, l, victims,
+                                     /*keys_per_victim=*/24,
+                                     /*candidate_budget=*/80'000'000,
+                                     /*search_seed=*/0x5ca1e);
+  };
+
+  std::vector<Workload> workloads;
+  workloads.push_back({"honest", honest, false});
+  workloads.push_back({"collision", {}, true});  // crafted per cell below
+  workloads.push_back(
+      {"flash",
+       trace::BuildFlashCrowdTrace(honest, attack_packets / 4, 4, 0.4, 0xf1a5)
+           .packets,
+       true});
+  workloads.push_back(
+      {"uniform",
+       trace::GenerateUniformTrace(honest_packets + attack_packets,
+                                   honest_packets / 4, 0xddc5),
+       true});
+
+  struct Cell {
+    std::string name;
+    uint64_t sketch_seed;
+    uint64_t attacker_seed;  // seed the white-box attacker crafts against
+    bool detect;
+    bool rotate;
+  };
+  const std::vector<Cell> cells = {
+      {"fixed", kFixedSeed, kFixedSeed, false, false},
+      {"random", entropy_seed, kFixedSeed, true, false},
+      {"rotate", entropy_seed, entropy_seed, true, true},
+  };
+
+  BenchJson json("adversarial");
+  json.Context("honest_packets", std::to_string(honest_packets));
+  json.Context("memory_bytes", std::to_string(kMemory));
+
+  bool detector_false_negative = false;
+  bool detector_false_positive = false;
+  bool conservation_failure = false;
+  double honest_are[3] = {0, 0, 0};
+  double collision_are[3] = {0, 0, 0};  // victim-set ARE (see RunResult)
+
+  for (const Workload& w : workloads) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      const Cell& cell = cells[c];
+      std::vector<Packet> packets;
+      if (w.name == "collision") {
+        packets = trace::BuildCollisionTrace(honest, craft(cell.attacker_seed),
+                                             attack_packets, 0.4)
+                      .packets;
+      } else {
+        packets = w.packets;
+      }
+      trace::ExactCounter<FiveTuple> truth;
+      for (const Packet& p : packets) truth.Add(p.key, p.weight);
+      // Heavy-hitter threshold: 0.1% of the hostile stream's mass.
+      const uint64_t threshold =
+          truth.Total() / 1000 == 0 ? 1 : truth.Total() / 1000;
+      const RunResult r =
+          RunCell(packets, cell.sketch_seed, cell.detect, cell.rotate, truth,
+                  threshold, victims);
+
+      const std::string base = "adversarial/" + w.name + "/" + cell.name;
+      // Higher-is-better convention: AREs inverted into accuracy scores.
+      json.Metric(base + "/accuracy_1_over_1p_are", 1.0 / (1.0 + r.acc.are));
+      json.Metric(base + "/victim_accuracy_1_over_1p_are",
+                  1.0 / (1.0 + r.victim_are));
+      json.Metric(base + "/f1", r.acc.f1);
+      json.Metric(base + "/mpps", r.mpps);
+      std::printf(
+          "%-9s %-7s ARE %8.4f  victimARE %8.4f  F1 %5.3f  %6.2f Mpps  "
+          "confirms c=%zu f=%zu rotations=%zu%s\n",
+          w.name.c_str(), cell.name.c_str(), r.acc.are, r.victim_are,
+          r.acc.f1, r.mpps, r.collision_confirms, r.churn_confirms,
+          r.rotations, r.rotation_conserved ? "" : "  [MASS NOT CONSERVED]");
+
+      if (w.name == "honest") honest_are[c] = r.victim_are;
+      if (w.name == "collision") collision_are[c] = r.victim_are;
+      if (!r.rotation_conserved) conservation_failure = true;
+      if (cell.detect) {
+        const size_t confirms = r.collision_confirms + r.churn_confirms;
+        if (!w.is_attack && confirms > 0) detector_false_positive = true;
+        // False-negative rule: a detection-enabled cell facing an attack
+        // that actually lands must confirm it. The "random" cell under
+        // "collision" is the keyed-hashing SUCCESS case — the crafted set
+        // misses, the traffic looks (and is) harmless — so it is exempt.
+        const bool attack_lands = w.name != "collision" || cell.rotate;
+        if (w.is_attack && attack_lands && confirms == 0) {
+          detector_false_negative = true;
+          std::printf("  ^ DETECTOR FALSE NEGATIVE (%s/%s)\n",
+                      w.name.c_str(), cell.name.c_str());
+        }
+      }
+    }
+  }
+
+  // The headline hardening claim, asserted over the victim set (the honest
+  // heavy hitters the attacker targets):
+  //   fixed-seed victim ARE blows up under white-box collision (>= 5x
+  //   honest); random-seed+detection+rotation victim ARE stays within 2x the
+  //   honest baseline at the same memory. A tiny absolute tolerance keeps
+  //   the 2x gate meaningful when the honest baseline is itself ~0.
+  const bool fixed_blows_up = collision_are[0] >= 5.0 * honest_are[0];
+  const bool rotate_recovers =
+      collision_are[2] <= 2.0 * honest_are[2] + 0.005;
+  json.Metric("adversarial/claim/fixed_collapse_ratio",
+              honest_are[0] > 0 ? collision_are[0] / honest_are[0] : 0.0);
+  json.Metric("adversarial/claim/rotate_within_2x_honest",
+              rotate_recovers ? 1.0 : 0.0);
+  std::printf(
+      "\nclaim: fixed collision ARE %.4f vs honest %.4f (%s), "
+      "rotate collision ARE %.4f vs honest %.4f (%s)\n",
+      collision_are[0], honest_are[0],
+      fixed_blows_up ? "blow-up confirmed" : "NO BLOW-UP", collision_are[2],
+      honest_are[2], rotate_recovers ? "within 2x" : "NOT RECOVERED");
+
+  const char* json_path = std::getenv("COCO_BENCH_JSON");
+  json.Write(json_path ? json_path : "BENCH_adversarial.json");
+
+  int rc = 0;
+  if (detector_false_negative) {
+    std::fprintf(stderr, "FAIL: detector false negative under attack\n");
+    rc = 1;
+  }
+  if (detector_false_positive) {
+    std::fprintf(stderr, "FAIL: detector false positive on honest traffic\n");
+    rc = 1;
+  }
+  if (conservation_failure) {
+    std::fprintf(stderr, "FAIL: mass not conserved through rotation\n");
+    rc = 1;
+  }
+  // The accuracy claim is only meaningful at representative scale: detection
+  // latency is a fixed number of updates (confirm_windows x window), so at
+  // tiny CI-smoke scales it spans a large fraction of the stream and the
+  // pre-rotation damage it allows dominates. Smoke runs still gate on
+  // detector correctness and conservation above.
+  const bool enforce_claim = honest_packets >= 200'000;
+  if (enforce_claim && (!fixed_blows_up || !rotate_recovers)) {
+    std::fprintf(stderr,
+                 "FAIL: hardening claim not demonstrated (fixed blow-up: %d, "
+                 "rotate recovery: %d)\n",
+                 fixed_blows_up, rotate_recovers);
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace coco::bench
+
+int main() { return coco::bench::Run(); }

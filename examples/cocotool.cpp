@@ -16,7 +16,18 @@
 //       several vantage points, write the merged image, and answer a SQL
 //       query over it ("-" skips the query); geometry is read from the
 //       image headers, so all inputs must have been measured with the same
-//       memKB and d
+//       memKB and d, and hash seed (aggregating across seeds is refused —
+//       bucket indices are incomparable)
+//   cocotool rotate <in.state> <out.state> [newseedhex]
+//       operator-commanded seed rotation (docs/ROBUSTNESS.md): restore the
+//       image, epoch-swap it onto a new hash seed (fresh entropy unless
+//       newseedhex is given), verify mass conservation, write the re-keyed
+//       image
+//
+// State images carry the hash seed they were sealed with (format v3), and
+// every subcommand restores with the seed read from the image header — a
+// state file measured under one seed is never silently decoded under
+// another.
 //
 // Example session:
 //   cocotool generate /tmp/t.cocotrc 500000
@@ -32,9 +43,11 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/sizes.h"
 #include "core/cocosketch.h"
 #include "core/merge.h"
+#include "core/seed_rotation.h"
 #include "core/state_image.h"
 #include "obs/sketch_metrics.h"
 #include "obs/snapshot.h"
@@ -54,8 +67,29 @@ int Usage() {
                "  cocotool query <in.state> \"<SQL>\" [memKB] [d]\n"
                "  cocotool stats <in.state> [memKB] [d]\n"
                "  cocotool merge <out.state> \"<SQL|->\" <in1.state> "
-               "<in2.state> [...]\n");
+               "<in2.state> [...]\n"
+               "  cocotool rotate <in.state> <out.state> [newseedhex]\n");
   return 2;
+}
+
+// Restores `image` into a sketch whose hash seed comes from the image's own
+// header (memKB/d stay caller-chosen so a geometry typo still fails loudly).
+std::optional<core::CocoSketch<FiveTuple>> RestoreWithImageSeed(
+    const std::vector<uint8_t>& image, size_t mem, size_t d,
+    const char* path) {
+  uint64_t hdr_d = 0, hdr_l = 0, seed = 0;
+  if (!core::PeekStateImageHeader(image, &hdr_d, &hdr_l, &seed)) {
+    std::fprintf(stderr, "%s is not a valid state image\n", path);
+    return std::nullopt;
+  }
+  core::CocoSketch<FiveTuple> sketch(mem, d, seed);
+  if (!sketch.RestoreState(image)) {
+    std::fprintf(stderr,
+                 "state/geometry mismatch: pass the memKB and d used at "
+                 "measure time\n");
+    return std::nullopt;
+  }
+  return sketch;
 }
 
 bool WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
@@ -123,15 +157,10 @@ int RunQuery(int argc, char** argv) {
   }
   const size_t mem = KiB(argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 500);
   const size_t d = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 2;
-  core::CocoSketch<FiveTuple> sketch(mem, d);
-  if (!sketch.RestoreState(image)) {
-    std::fprintf(stderr,
-                 "state/geometry mismatch: pass the memKB and d used at "
-                 "measure time\n");
-    return 1;
-  }
+  auto sketch = RestoreWithImageSeed(image, mem, d, argv[2]);
+  if (!sketch) return 1;
   std::string error;
-  const auto result = query::sql::Query(argv[3], sketch.Decode(), &error);
+  const auto result = query::sql::Query(argv[3], sketch->Decode(), &error);
   if (!result) {
     std::fprintf(stderr, "SQL error: %s\n", error.c_str());
     return 1;
@@ -150,15 +179,10 @@ int Stats(int argc, char** argv) {
   }
   const size_t mem = KiB(argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 500);
   const size_t d = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2;
-  core::CocoSketch<FiveTuple> sketch(mem, d);
-  if (!sketch.RestoreState(image)) {
-    std::fprintf(stderr,
-                 "state/geometry mismatch: pass the memKB and d used at "
-                 "measure time\n");
-    return 1;
-  }
+  auto sketch = RestoreWithImageSeed(image, mem, d, argv[2]);
+  if (!sketch) return 1;
   obs::Registry registry;
-  obs::PublishSketchStats(&registry, "sketch", sketch.Stats());
+  obs::PublishSketchStats(&registry, "sketch", sketch->Stats());
   std::fputs(obs::ToJson(obs::CaptureSnapshot(registry)).c_str(), stdout);
   return 0;
 }
@@ -179,24 +203,34 @@ int Merge(int argc, char** argv) {
       std::fprintf(stderr, "cannot read state %s\n", argv[i]);
       return 1;
     }
-    uint64_t d = 0, l = 0;
-    if (!core::PeekStateImageGeometry(image, &d, &l)) {
+    uint64_t d = 0, l = 0, seed = 0;
+    if (!core::PeekStateImageHeader(image, &d, &l, &seed)) {
       std::fprintf(stderr, "%s is not a valid state image\n", argv[i]);
       return 1;
     }
     const size_t mem = static_cast<size_t>(d * l) *
                        core::CocoSketch<FiveTuple>::BucketBytes();
-    core::CocoSketch<FiveTuple> shard(mem, static_cast<size_t>(d));
+    core::CocoSketch<FiveTuple> shard(mem, static_cast<size_t>(d), seed);
     if (!shard.RestoreState(image)) {
       std::fprintf(stderr, "corrupt or mismatched state image %s\n", argv[i]);
       return 1;
     }
     if (!merged) {
-      merged.emplace(mem, d);
+      merged.emplace(mem, d, seed);
       merged->RestoreState(image);
       continue;
     }
     const auto stats = core::MergeSketches(&*merged, shard, &rng);
+    if (stats.seed_mismatch) {
+      std::fprintf(stderr,
+                   "hash seed mismatch: %s was measured under seed %016llx, "
+                   "the first image under %016llx — bucket positions are "
+                   "incomparable across seeds (rotate one side first, or "
+                   "re-measure with a shared COCO_SEED)\n",
+                   argv[i], static_cast<unsigned long long>(shard.seed()),
+                   static_cast<unsigned long long>(merged->seed()));
+      return 1;
+    }
     if (!stats.ok) {
       std::fprintf(stderr,
                    "geometry mismatch: %s differs from the first image "
@@ -228,6 +262,52 @@ int Merge(int argc, char** argv) {
                 result->rows.size());
   }
   return 0;
+}
+
+// Operator-commanded seed rotation (docs/ROBUSTNESS.md): the offline twin of
+// the datapath's automatic response — rotate a saved image onto a fresh seed
+// so a leaked/compromised seed stops being useful, preserving the decoded
+// estimates and total mass.
+int Rotate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::vector<uint8_t> image;
+  if (!ReadFile(argv[2], &image)) {
+    std::fprintf(stderr, "cannot read state %s\n", argv[2]);
+    return 1;
+  }
+  uint64_t d = 0, l = 0, seed = 0;
+  if (!core::PeekStateImageHeader(image, &d, &l, &seed)) {
+    std::fprintf(stderr, "%s is not a valid state image\n", argv[2]);
+    return 1;
+  }
+  const size_t mem = static_cast<size_t>(d * l) *
+                     core::CocoSketch<FiveTuple>::BucketBytes();
+  core::CocoSketch<FiveTuple> sketch(mem, static_cast<size_t>(d), seed);
+  if (!sketch.RestoreState(image)) {
+    std::fprintf(stderr, "corrupt or mismatched state image %s\n", argv[2]);
+    return 1;
+  }
+  const uint64_t new_seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 16) : RandomSeed();
+  if (new_seed == 0 || new_seed == seed) {
+    std::fprintf(stderr, "new seed must be nonzero and differ from %016llx\n",
+                 static_cast<unsigned long long>(seed));
+    return 1;
+  }
+  const core::RotationStats stats = core::RotateSeed(&sketch, new_seed);
+  std::printf("rotated %016llx -> %016llx: %zu flows replayed, mass %llu -> "
+              "%llu (%s)\n",
+              static_cast<unsigned long long>(stats.old_seed),
+              static_cast<unsigned long long>(stats.new_seed),
+              stats.flows_replayed,
+              static_cast<unsigned long long>(stats.mass_before),
+              static_cast<unsigned long long>(stats.mass_after),
+              stats.mass_conserved ? "mass conserved" : "CONSERVATION FAILED");
+  if (!WriteFile(argv[3], sketch.SerializeState())) {
+    std::fprintf(stderr, "cannot write state %s\n", argv[3]);
+    return 1;
+  }
+  return stats.mass_conserved ? 0 : 1;
 }
 
 }  // namespace
@@ -263,5 +343,6 @@ int main(int argc, char** argv) {
   if (cmd == "query") return RunQuery(argc, argv);
   if (cmd == "stats") return Stats(argc, argv);
   if (cmd == "merge") return Merge(argc, argv);
+  if (cmd == "rotate") return Rotate(argc, argv);
   return Usage();
 }

@@ -45,9 +45,27 @@ import sys
 base_path, cur_path, threshold_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
-    return data.get("bench", "?"), data.get("metrics", {})
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read {path}: {e.strerror}", file=sys.stderr)
+        sys.exit(1)
+    except json.JSONDecodeError as e:
+        print(f"error: malformed JSON in {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    if not isinstance(data, dict):
+        print(f"error: {path} is not a bench snapshot (top-level JSON "
+              f"object expected)", file=sys.stderr)
+        sys.exit(1)
+    metrics = data.get("metrics", {})
+    if not isinstance(metrics, dict) or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in metrics.values()):
+        print(f"error: {path} has a malformed 'metrics' table (expected an "
+              f"object of numeric values)", file=sys.stderr)
+        sys.exit(1)
+    return data.get("bench", "?"), metrics
 
 base_name, base = load(base_path)
 cur_name, cur = load(cur_path)

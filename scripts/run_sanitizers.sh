@@ -6,13 +6,14 @@
 #   thread  — TSan over the lock-free SPSC rings, the watchdog's
 #             stall-detect/kill/respawn paths, the batched merge, the
 #             relaxed-atomic metrics registry, the network-wide
-#             agent/collector transports, and the SIMD tier's process-default
-#             dispatch state (ovs_test, batch_test, obs_test, netwide_test,
-#             simd_test)
+#             agent/collector transports, the SIMD tier's process-default
+#             dispatch state, and the attack-detection/seed-rotation response
+#             on the consumer threads (ovs_test, batch_test, obs_test,
+#             netwide_test, simd_test, adversarial_test)
 #   address — ASan+UBSan over the deserializers, fuzz loops, the snapshot
-#             JSON reader, the frame/delta decoders, and the SIMD kernels'
-#             word loads against the padded SoA key plane (fuzz_test plus
-#             the same five, for free)
+#             JSON reader, the frame/delta decoders, the SIMD kernels'
+#             word loads against the padded SoA key plane, and the hostile
+#             trace generators (fuzz_test plus the same six, for free)
 #
 # Usage:
 #   scripts/run_sanitizers.sh            # both presets
@@ -45,8 +46,8 @@ fi
 
 for p in "${presets[@]}"; do
   case "$p" in
-    thread) run_preset thread ovs_test batch_test obs_test netwide_test simd_test ;;
-    address) run_preset address fuzz_test ovs_test batch_test obs_test netwide_test simd_test ;;
+    thread) run_preset thread ovs_test batch_test obs_test netwide_test simd_test adversarial_test ;;
+    address) run_preset address fuzz_test ovs_test batch_test obs_test netwide_test simd_test adversarial_test ;;
     *)
       echo "unknown preset '$p' (expected: thread | address)" >&2
       exit 2

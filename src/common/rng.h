@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <random>
 
 namespace coco {
 
@@ -73,5 +75,39 @@ class Rng {
 
   uint64_t s_[4];
 };
+
+// Fresh 64-bit seed from OS entropy, mixed through SplitMix64 so callers can
+// hand consecutive draws to sketches without correlated state. Used for seed
+// rotation (each rotation must land on a value the attacker cannot predict)
+// and as the source for ProcessSeed below. Never returns 0 so "no seed yet"
+// sentinels stay usable.
+inline uint64_t RandomSeed() {
+  std::random_device rd;
+  uint64_t raw = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  uint64_t mixed = SplitMix64(raw);
+  return mixed != 0 ? mixed : 0x9e3779b97f4a7c15ULL;
+}
+
+// Per-process hash seed for default-constructed sketches. Drawing this from
+// entropy (instead of the historical 0xc0c0 constant) is the first line of
+// adversarial hardening: a white-box attacker who knows the code can no
+// longer precompute key sets that collide in all d arrays. It is stable for
+// the lifetime of the process so sketches built in the same process remain
+// merge- and restore-compatible with each other by default. COCO_SEED=<hex>
+// overrides it for reproducible multi-process runs (agents + collector must
+// share a seed to aggregate); explicit-seed constructors bypass it entirely.
+inline uint64_t ProcessSeed() {
+  static const uint64_t seed = []() -> uint64_t {
+    if (const char* env = std::getenv("COCO_SEED")) {
+      char* end = nullptr;
+      uint64_t v = std::strtoull(env, &end, 16);
+      if (end != env && *end == '\0') {
+        return v != 0 ? v : 0x9e3779b97f4a7c15ULL;
+      }
+    }
+    return RandomSeed();
+  }();
+  return seed;
+}
 
 }  // namespace coco

@@ -63,7 +63,11 @@ class CocoSketch {
     return Key::kSize + sizeof(uint32_t);
   }
 
-  CocoSketch(size_t memory_bytes, size_t d = 2, uint64_t seed = 0xc0c0)
+  // The default seed is per-process entropy (coco::ProcessSeed) so a
+  // white-box adversary cannot precompute colliding key sets against a
+  // deployment; pass an explicit seed for deterministic tests/benches and
+  // for cross-process aggregation (or set COCO_SEED).
+  CocoSketch(size_t memory_bytes, size_t d = 2, uint64_t seed = ProcessSeed())
       : d_(d),
         l_(memory_bytes / (d * BucketBytes())),
         seed_(seed),
@@ -132,6 +136,8 @@ class CocoSketch {
   void Clear() {
     buckets_.ClearAll();
     key_replacements_ = 0;
+    updates_ = 0;
+    pass1_misses_ = 0;
     MarkAllDirty();
   }
 
@@ -178,6 +184,8 @@ class CocoSketch {
   SketchStats Stats() const {
     SketchStats stats = ComputeBucketStats(tier_, buckets_.values(), d_, l_);
     stats.key_replacements = key_replacements_;
+    stats.updates = updates_;
+    stats.pass1_misses = pass1_misses_;
     return stats;
   }
 
@@ -192,18 +200,30 @@ class CocoSketch {
   // core/state_image.h), the payload a switch would ship to the controller —
   // and the checkpoint format the OVS datapath recovers from.
   std::vector<uint8_t> SerializeState() const {
-    return SerializeBucketImage(buckets_, Key::kSize, d_, l_);
+    return SerializeBucketImage(buckets_, Key::kSize, d_, l_, seed_);
   }
 
   // Rejects truncated, geometry-mismatched, and bit-flipped images without
   // touching any bucket — a failed restore leaves the sketch exactly as it
-  // was.
+  // was. The restoring sketch ADOPTS the image's hash seed: bucket indices
+  // are a function of the seed the serializing sketch hashed with, so
+  // keeping a different local seed would misroute every future update and
+  // point query against the restored buckets. Aggregation paths that must
+  // NOT mix seeds (merge, the network collector) enforce seed equality
+  // themselves before restore ever runs.
   bool RestoreState(const std::vector<uint8_t>& image) {
-    if (!ValidateStateImage(image, d_, l_,
+    uint64_t img_d = 0, img_l = 0, img_seed = 0;
+    if (!PeekStateImageHeader(image, &img_d, &img_l, &img_seed)) return false;
+    if (!ValidateStateImage(image, d_, l_, img_seed,
                             buckets_.size() * BucketBytes())) {
       return false;
     }
     RestoreBucketImage(image, Key::kSize, &buckets_);
+    if (img_seed != seed_) {
+      seed_ = img_seed;
+      hash_ = hash::MultiHash(seed_, d_, l_);
+      rng_ = decltype(rng_)(seed_ ^ 0x5eedf00d);
+    }
     MarkAllDirty();
     return true;
   }
@@ -277,6 +297,7 @@ class CocoSketch {
   COCO_FORCE_INLINE void ApplyRule(const size_t* idx, size_t d,
                                    uint32_t weight, int match,
                                    StoreFn&& store_key) {
+    ++updates_;
     // Pass 1: if the flow is already tracked, increment it — variance
     // increment zero (Theorem 2).
     if (match >= 0) {
@@ -284,6 +305,7 @@ class CocoSketch {
       MarkDirty(idx[match]);
       return;
     }
+    ++pass1_misses_;
     // Pass 2: smallest mapped bucket, ties broken uniformly at random
     // (reservoir over equal minima, as §4.1 specifies).
     size_t chosen = idx[0];
@@ -319,6 +341,11 @@ class CocoSketch {
   BucketArray<Key> buckets_;
   std::vector<uint8_t> dirty_;  // empty = delta tracking off
   uint64_t key_replacements_ = 0;
+  // Attack-detection signal counters (core/attack_monitor.h): total update
+  // rule applications and pass-1 misses. Two register increments on the hot
+  // path, same cost class as key_replacements_.
+  uint64_t updates_ = 0;
+  uint64_t pass1_misses_ = 0;
 };
 
 }  // namespace coco::core

@@ -37,7 +37,8 @@ template <typename Key, typename Item>
 class DistinctCocoSketch {
  public:
   DistinctCocoSketch(size_t d, size_t buckets_per_array,
-                     uint8_t hll_precision_bits = 8, uint64_t seed = 0xd15)
+                     uint8_t hll_precision_bits = 8,
+                     uint64_t seed = ProcessSeed())
       : d_(d), l_(buckets_per_array), hash_(seed), rng_(seed ^ 0x7e11) {
     COCO_CHECK(d_ >= 1 && d_ <= 8, "d out of range");
     COCO_CHECK(l_ >= 1, "need at least one bucket per array");

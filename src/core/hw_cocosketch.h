@@ -63,9 +63,10 @@ class HwCocoSketch {
     return Key::kSize + sizeof(uint32_t);
   }
 
+  // Default seed is per-process entropy; see CocoSketch's constructor note.
   HwCocoSketch(size_t memory_bytes, size_t d = 2,
                DivisionMode division = DivisionMode::kExact,
-               uint64_t seed = 0xc0c1)
+               uint64_t seed = ProcessSeed())
       : d_(d),
         l_(memory_bytes / (d * BucketBytes())),
         division_(division),
@@ -169,6 +170,8 @@ class HwCocoSketch {
   void Clear() {
     buckets_.ClearAll();
     key_replacements_ = 0;
+    updates_ = 0;
+    pass1_misses_ = 0;
     MarkAllDirty();
   }
 
@@ -181,6 +184,13 @@ class HwCocoSketch {
   // SIMD tier control; see CocoSketch::SimdTier.
   simd::Tier SimdTier() const { return tier_; }
   void SetSimdTier(simd::Tier t) { tier_ = simd::ClampTier(t); }
+
+  // Total recorded weight across all arrays. Unlike CocoSketch this EXCEEDS
+  // the stream mass: every array increments its mapped bucket, so the stream
+  // is recorded (up to) d times.
+  uint64_t TotalValue() const {
+    return simd::SumU32(tier_, buckets_.values(), buckets_.size());
+  }
 
   // Raw bucket readout for the control-plane merge path (core/merge.h).
   const BucketArray<Key>& Buckets() const { return buckets_; }
@@ -209,23 +219,33 @@ class HwCocoSketch {
   SketchStats Stats() const {
     SketchStats stats = ComputeBucketStats(tier_, buckets_.values(), d_, l_);
     stats.key_replacements = key_replacements_;
+    stats.updates = updates_;
+    stats.pass1_misses = pass1_misses_;
     return stats;
   }
 
   // Same checksummed control-plane image format as
   // CocoSketch::SerializeState (core/state_image.h).
   std::vector<uint8_t> SerializeState() const {
-    return SerializeBucketImage(buckets_, Key::kSize, d_, l_);
+    return SerializeBucketImage(buckets_, Key::kSize, d_, l_, seed_);
   }
 
   // Rejects truncated, geometry-mismatched, and bit-flipped images without
-  // touching any bucket.
+  // touching any bucket; adopts the image's hash seed on success (see
+  // CocoSketch::RestoreState for why).
   bool RestoreState(const std::vector<uint8_t>& image) {
-    if (!ValidateStateImage(image, d_, l_,
+    uint64_t img_d = 0, img_l = 0, img_seed = 0;
+    if (!PeekStateImageHeader(image, &img_d, &img_l, &img_seed)) return false;
+    if (!ValidateStateImage(image, d_, l_, img_seed,
                             buckets_.size() * BucketBytes())) {
       return false;
     }
     RestoreBucketImage(image, Key::kSize, &buckets_);
+    if (img_seed != seed_) {
+      seed_ = img_seed;
+      hash_ = hash::MultiHash(seed_, d_, l_);
+      rng_ = decltype(rng_)(seed_ ^ 0x5eedf11d);
+    }
     MarkAllDirty();
     return true;
   }
@@ -299,6 +319,10 @@ class HwCocoSketch {
   COCO_FORCE_INLINE void ApplyRule(const size_t* idx, size_t d,
                                    uint32_t weight, uint32_t eq,
                                    StoreFn&& store_key) {
+    ++updates_;
+    // "Pass-1 miss" for the hardware variant: the flow's key owned none of
+    // its d mapped buckets when the packet arrived.
+    if (eq == 0) ++pass1_misses_;
     for (size_t i = 0; i < d; ++i) {
       // Value stage: unconditional increment — no dependence on the key.
       buckets_.AddValue(idx[i], weight);
@@ -328,6 +352,9 @@ class HwCocoSketch {
   BucketArray<Key> buckets_;
   std::vector<uint8_t> dirty_;  // empty = delta tracking off
   uint64_t key_replacements_ = 0;
+  // Attack-detection signal counters (core/attack_monitor.h).
+  uint64_t updates_ = 0;
+  uint64_t pass1_misses_ = 0;
 };
 
 }  // namespace coco::core

@@ -45,6 +45,12 @@ namespace coco::core {
 
 struct MergeStats {
   bool ok = false;          // false: geometry/seed mismatch, dst untouched
+  // Set when the merge was refused specifically because the two sketches
+  // hash with different seeds. Position-wise merging of foreign-seed arrays
+  // would attribute mass to the wrong key sets silently — callers (the
+  // collector, cocotool merge) surface this case distinctly in obs and
+  // error messages instead of lumping it in with geometry mismatches.
+  bool seed_mismatch = false;
   uint64_t matched = 0;     // same key both sides
   uint64_t copied = 0;      // one side empty
   uint64_t conflicts = 0;   // probabilistic key resolution ran
@@ -85,8 +91,11 @@ void MergeSlot(BucketArrayT* dst, const BucketArrayT& src, size_t i, Rng* rng,
 template <typename Sketch>
 MergeStats MergeBucketArrays(Sketch* dst, const Sketch& src, Rng* rng) {
   MergeStats stats;
-  if (dst->d() != src.d() || dst->l() != src.l() ||
-      dst->seed() != src.seed()) {
+  if (dst->d() != src.d() || dst->l() != src.l()) {
+    return stats;  // ok == false, dst untouched
+  }
+  if (dst->seed() != src.seed()) {
+    stats.seed_mismatch = true;
     return stats;  // ok == false, dst untouched
   }
   auto& dst_buckets = dst->MutableBuckets();

@@ -93,7 +93,7 @@ template <typename Key>
 class SampledCocoSketch {
  public:
   SampledCocoSketch(size_t memory_bytes, double sample_probability,
-                    size_t d = 2, uint64_t seed = 0xc0c2)
+                    size_t d = 2, uint64_t seed = ProcessSeed())
       : gate_(sample_probability, seed ^ 0x5a3b1e),
         sketch_(memory_bytes, d, seed) {}
 

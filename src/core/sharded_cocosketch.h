@@ -27,9 +27,11 @@ namespace coco::core {
 template <typename Key>
 class ShardedCocoSketch {
  public:
-  // `total_memory` is split evenly across `shards`.
+  // `total_memory` is split evenly across `shards`. The default seed is
+  // per-process entropy (see CocoSketch); each shard derives its own seed
+  // from it so shards stay hash-independent.
   ShardedCocoSketch(size_t total_memory, size_t shards, size_t d = 2,
-                    uint64_t seed = 0x5a4d)
+                    uint64_t seed = ProcessSeed())
       : shards_() {
     COCO_CHECK(shards >= 1, "need at least one shard");
     shards_.reserve(shards);
@@ -114,6 +116,8 @@ class ShardedCocoSketch {
       total.buckets_occupied += part.buckets_occupied;
       total.total_value += part.total_value;
       total.key_replacements += part.key_replacements;
+      total.updates += part.updates;
+      total.pass1_misses += part.pass1_misses;
       if (part.max_bucket_value > total.max_bucket_value) {
         total.max_bucket_value = part.max_bucket_value;
       }

@@ -28,6 +28,14 @@ struct SketchStats {
   // churn relative to updates means the structure is past saturation and
   // small flows are cycling through buckets.
   uint64_t key_replacements = 0;
+  // Update-rule applications and pass-1 misses (packets whose key owned no
+  // mapped bucket on arrival). Windowed deltas of these three counters are
+  // the inputs to the collision-attack detector (core/attack_monitor.h):
+  // honest traffic that misses pass 1 claims empty buckets at the
+  // balls-in-bins rate, while crafted colliding keys miss and churn without
+  // growing occupancy.
+  uint64_t updates = 0;
+  uint64_t pass1_misses = 0;
   std::vector<size_t> per_array_occupied;  // one entry per array (d entries)
 };
 

@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/rng.h"
+
 namespace coco::hash {
 
 // Jenkins lookup3 (hashlittle). Deterministic across platforms for the same
@@ -27,7 +29,11 @@ uint64_t HashU64(uint64_t value, uint64_t seed);
 // address arrays with `family(i, key_bytes, len) % width`.
 class HashFamily {
  public:
-  explicit HashFamily(uint64_t seed = 0x5ee3u) : seed_(seed) {
+  // Default-constructed families draw the per-process entropy seed (see
+  // coco::ProcessSeed) — the historical 0x5ee3 constant let a white-box
+  // adversary precompute multi-way collisions. Pass an explicit seed for
+  // determinism.
+  explicit HashFamily(uint64_t seed = ProcessSeed()) : seed_(seed) {
     // Derived per-index seeds are precomputed once here; the previous
     // implementation re-ran the splitmix mix on every call, which showed up
     // in every sketch's per-packet hash cost.

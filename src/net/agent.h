@@ -61,7 +61,10 @@ class Agent {
     delta_bytes_ = registry->GetHistogram(p + "delta_bytes");
     delta_ratio_ = registry->GetGauge(p + "delta_ratio");
     epoch_gauge_ = registry->GetGauge(p + "epoch");
-    transport_->Send(EncodeControlFrame(FrameType::kHello, options_.id, 0));
+    // The hello announces the sketch's hash seed so a misconfigured agent
+    // (different COCO_SEED / explicit seed than the collector) is flagged at
+    // handshake time instead of after shipping an epoch of state.
+    transport_->Send(EncodeHelloFrame(options_.id, sketch_->seed()));
   }
 
   // Closes out the current measurement epoch: builds and sends the sync

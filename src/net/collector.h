@@ -5,7 +5,9 @@
 // Validation gauntlet — a frame mutates state only after surviving all of:
 //   1. frame checksum + version (net/frame.h; garbage is skipped & counted);
 //   2. state-image / delta structural validation against the replica's
-//      geometry (core/state_image.h, net/delta.h);
+//      geometry AND hash seed (core/state_image.h, net/delta.h) — a
+//      foreign-seed payload maps mass onto the wrong buckets, so it is
+//      rejected and counted (net.collector.seed_mismatches), never applied;
 //   3. epoch admission: epochs at or below the replica's are duplicates
 //      (re-acked, not applied); a delta whose base epoch is ahead of the
 //      replica is a gap (nacked — the agent falls back to a full image);
@@ -47,7 +49,10 @@ class Collector {
   struct Options {
     size_t memory_bytes = 0;
     size_t d = 2;
-    uint64_t seed = 0xc0c0;  // must match the agents' sketch seed
+    // Must match the agents' sketch seed. Defaults to the per-process
+    // entropy seed, which is right for in-process tests; real multi-process
+    // deployments share the seed explicitly (COCO_SEED or configuration).
+    uint64_t seed = ProcessSeed();
     uint32_t heartbeat_timeout_ticks = 64;
     uint64_t merge_seed = 0x6e7c0c0;
   };
@@ -65,6 +70,7 @@ class Collector {
     rejected_ = registry->GetCounter("net.collector.frames_rejected");
     conservation_failures_ =
         registry->GetCounter("net.collector.conservation_failures");
+    seed_mismatches_ = registry->GetCounter("net.collector.seed_mismatches");
     acks_sent_ = registry->GetCounter("net.collector.acks_sent");
     nacks_sent_ = registry->GetCounter("net.collector.nacks_sent");
     heartbeats_ = registry->GetCounter("net.collector.heartbeats_received");
@@ -181,8 +187,18 @@ class Collector {
     frames_ok_->Add();
     AgentState& agent = Touch(frame.agent_id);
     switch (frame.type) {
-      case FrameType::kHello:
+      case FrameType::kHello: {
+        // A seeded hello lets us flag a misconfigured agent at handshake
+        // time. The nack is advisory (the agent will fail state admission
+        // anyway); the counter is the operator's signal.
+        uint64_t hello_seed = 0;
+        if (DecodeHelloSeed(frame, &hello_seed) &&
+            hello_seed != options_.seed) {
+          seed_mismatches_->Add();
+          Reply(FrameType::kNack, frame);
+        }
         break;
+      }
       case FrameType::kHeartbeat:
         heartbeats_->Add();
         break;
@@ -207,12 +223,23 @@ class Collector {
       Reply(FrameType::kAck, frame);
       return;
     }
+    // Distinguish a foreign-seed image (misconfigured agent — silent-garbage
+    // hazard) from structural corruption before RestoreState folds both into
+    // one rejection.
+    uint64_t img_d = 0, img_l = 0, img_seed = 0;
+    if (core::PeekStateImageHeader(frame.payload, &img_d, &img_l, &img_seed) &&
+        img_seed != options_.seed) {
+      seed_mismatches_->Add();
+      rejected_->Add();
+      Reply(FrameType::kNack, frame);
+      return;
+    }
     if (!agent->replica) {
       agent->replica = std::make_unique<Sketch>(options_.memory_bytes,
                                                 options_.d, options_.seed);
     }
-    // RestoreState validates size/version/geometry/checksum and leaves the
-    // replica untouched on failure.
+    // RestoreState validates size/version/geometry/seed/checksum and leaves
+    // the replica untouched on failure.
     if (!agent->replica->RestoreState(frame.payload)) {
       rejected_->Add();
       Reply(FrameType::kNack, frame);
@@ -236,6 +263,15 @@ class Collector {
         info.base_epoch > agent->last_epoch) {
       // No baseline to apply onto (fresh collector, restarted agent, or a
       // gap the delta does not cover): demand a full image.
+      rejected_->Add();
+      Reply(FrameType::kNack, frame);
+      return;
+    }
+    if (info.hash_seed != options_.seed) {
+      // Bucket indices in the delta were computed under a different hash
+      // seed; applying them would scatter the agent's mass over the wrong
+      // key sets with no checksum to catch it. Reject loudly instead.
+      seed_mismatches_->Add();
       rejected_->Add();
       Reply(FrameType::kNack, frame);
       return;
@@ -284,6 +320,7 @@ class Collector {
   obs::Counter* dups_;
   obs::Counter* rejected_;
   obs::Counter* conservation_failures_;
+  obs::Counter* seed_mismatches_;
   obs::Counter* acks_sent_;
   obs::Counter* nacks_sent_;
   obs::Counter* heartbeats_;

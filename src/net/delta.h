@@ -10,8 +10,12 @@
 // every apply and fall back to a full resync on any mismatch.
 //
 //   | d (4 BE) | l (4 BE) | entry_count (4 BE) | base_epoch (8 BE) |
-//   | total_value (8 BE) |
+//   | total_value (8 BE) | hash_seed (8 BE) |
 //   | entries: entry_count × ( index (4 BE) | key (Key::kSize) | value (4 BE) ) |
+//
+// hash_seed is the sender's sketch seed: bucket indices are a function of the
+// seed, so applying a foreign-seed delta would scatter mass over the wrong
+// buckets silently. The collector rejects (and counts) seed mismatches.
 //
 // base_epoch is the last epoch the collector acknowledged when the delta was
 // built: the payload contains every bucket changed since then, so the
@@ -33,7 +37,7 @@
 
 namespace coco::net {
 
-inline constexpr size_t kDeltaHeaderBytes = 28;
+inline constexpr size_t kDeltaHeaderBytes = 36;
 
 template <typename Sketch>
 constexpr size_t DeltaEntryBytes() {
@@ -59,6 +63,7 @@ std::vector<uint8_t> BuildDeltaPayload(const Sketch& sketch,
   StoreBE32(out.data() + 8, count);
   StoreBE64(out.data() + 12, base_epoch);
   StoreBE64(out.data() + 20, sketch.TotalValue());
+  StoreBE64(out.data() + 28, sketch.seed());
   uint8_t* p = out.data() + kDeltaHeaderBytes;
   for (size_t i = 0; i < dirty.size(); ++i) {
     if (dirty[i] == 0) continue;
@@ -81,24 +86,26 @@ struct DeltaInfo {
   uint32_t entry_count = 0;
   uint64_t base_epoch = 0;   // delta covers changes after this epoch
   uint64_t total_value = 0;  // sender's TotalValue() at build time
+  uint64_t hash_seed = 0;    // sender's sketch hash seed
 };
 
-// Parses just the header. Used by the collector to check base_epoch before
-// committing to an apply.
+// Parses just the header. Used by the collector to check base_epoch and the
+// hash seed before committing to an apply.
 template <typename Sketch>
 bool PeekDeltaInfo(const std::vector<uint8_t>& payload, DeltaInfo* info) {
   if (payload.size() < kDeltaHeaderBytes) return false;
   info->entry_count = LoadBE32(payload.data() + 8);
   info->base_epoch = LoadBE64(payload.data() + 12);
   info->total_value = LoadBE64(payload.data() + 20);
+  info->hash_seed = LoadBE64(payload.data() + 28);
   return true;
 }
 
-// Validates `payload` against `replica`'s geometry and applies it. The whole
-// payload is validated before the first bucket is written, so a rejected
-// delta leaves the replica untouched. Returns false on any structural
-// violation: short/oversized payload, geometry mismatch, out-of-range or
-// non-increasing bucket indices.
+// Validates `payload` against `replica`'s geometry and hash seed and applies
+// it. The whole payload is validated before the first bucket is written, so a
+// rejected delta leaves the replica untouched. Returns false on any
+// structural violation: short/oversized payload, geometry or seed mismatch,
+// out-of-range or non-increasing bucket indices.
 template <typename Sketch>
 bool ApplyDeltaPayload(const std::vector<uint8_t>& payload, Sketch* replica,
                        DeltaInfo* info) {
@@ -108,6 +115,7 @@ bool ApplyDeltaPayload(const std::vector<uint8_t>& payload, Sketch* replica,
       LoadBE32(payload.data() + 4) != replica->l()) {
     return false;
   }
+  if (LoadBE64(payload.data() + 28) != replica->seed()) return false;
   const uint32_t count = LoadBE32(payload.data() + 8);
   if (payload.size() !=
       kDeltaHeaderBytes + static_cast<size_t>(count) *

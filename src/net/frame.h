@@ -38,7 +38,8 @@ inline constexpr uint32_t kMaxFramePayload = 64u << 20;
 inline constexpr uint64_t kFrameChecksumSeed = 0xf4a3c0c0ULL;
 
 enum class FrameType : uint8_t {
-  kHello = 1,      // agent announces itself; payload empty
+  kHello = 1,      // agent announces itself; payload: hash seed (8 BE) or
+                   // empty (legacy peers that predate seeded hellos)
   kFullState = 2,  // payload: sealed state image (core/state_image.h)
   kDelta = 3,      // payload: dirty-bucket delta (net/delta.h)
   kHeartbeat = 4,  // payload empty; epoch = agent's current epoch
@@ -97,6 +98,30 @@ inline std::vector<uint8_t> EncodeControlFrame(FrameType type,
   f.agent_id = agent_id;
   f.epoch = epoch;
   return EncodeFrame(f);
+}
+
+// Hello carrying the agent's sketch hash seed, so the collector can verify
+// aggregation compatibility at handshake time instead of discovering it one
+// rejected state frame at a time.
+inline std::vector<uint8_t> EncodeHelloFrame(uint32_t agent_id,
+                                             uint64_t hash_seed) {
+  Frame f;
+  f.type = FrameType::kHello;
+  f.agent_id = agent_id;
+  f.payload.resize(8);
+  StoreBE64(f.payload.data(), hash_seed);
+  return EncodeFrame(f);
+}
+
+// Extracts the seed from a hello payload. Returns false for legacy empty
+// hellos (no seed claim — the state/delta admission checks still guard the
+// replica) and for malformed payload sizes.
+inline bool DecodeHelloSeed(const Frame& frame, uint64_t* hash_seed) {
+  if (frame.type != FrameType::kHello || frame.payload.size() != 8) {
+    return false;
+  }
+  *hash_seed = LoadBE64(frame.payload.data());
+  return true;
 }
 
 enum class DecodeStatus {

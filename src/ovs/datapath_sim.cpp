@@ -11,7 +11,9 @@
 
 #include "common/check.h"
 #include "common/cycle_clock.h"
+#include "common/rng.h"
 #include "core/sampled_cocosketch.h"
+#include "core/seed_rotation.h"
 #include "obs/sketch_metrics.h"
 #include "ovs/degrade.h"
 #include "ovs/watchdog.h"
@@ -64,6 +66,11 @@ struct QueueMetrics {
   obs::Counter* checkpoints = nullptr;
   obs::Counter* checkpoint_bytes = nullptr;
   obs::Counter* checkpoints_rejected = nullptr;
+  obs::Counter* attack_suspicious = nullptr;
+  obs::Counter* attack_collision = nullptr;
+  obs::Counter* attack_churn_flood = nullptr;
+  obs::Counter* seed_rotations = nullptr;
+  obs::Counter* attack_degrade_forced = nullptr;
   obs::Histogram* batch_fill = nullptr;
   obs::Histogram* drain_cycles = nullptr;
 };
@@ -84,6 +91,11 @@ QueueMetrics ResolveQueueMetrics(obs::Registry* registry,
   m.checkpoints = registry->GetCounter(base + "checkpoints");
   m.checkpoint_bytes = registry->GetCounter(base + "checkpoint_bytes");
   m.checkpoints_rejected = registry->GetCounter(base + "checkpoints_rejected");
+  m.attack_suspicious = registry->GetCounter(base + "attack_suspicious");
+  m.attack_collision = registry->GetCounter(base + "attack_collision");
+  m.attack_churn_flood = registry->GetCounter(base + "attack_churn_flood");
+  m.seed_rotations = registry->GetCounter(base + "seed_rotations");
+  m.attack_degrade_forced = registry->GetCounter(base + "attack_degrade_forced");
   m.batch_fill = registry->GetHistogram(base + "batch_fill");
   m.drain_cycles = registry->GetHistogram(base + "drain_cycles");
   return m;
@@ -169,6 +181,17 @@ DatapathResult RunDatapath(const DatapathConfig& config,
   std::atomic<uint64_t> checkpoints_rejected{0};
   std::atomic<uint64_t> restores{0};
   std::atomic<uint64_t> packets_lost{0};
+  std::atomic<uint64_t> attack_suspicious{0};
+  std::atomic<uint64_t> collisions_confirmed{0};
+  std::atomic<uint64_t> churn_confirmed{0};
+  std::atomic<uint64_t> rotations{0};
+  std::atomic<uint64_t> degrade_forced{0};
+  std::atomic<bool> rotation_conserved{true};
+  // Per-queue rotation epochs, surviving consumer respawns: the adaptive-
+  // attacker escalation ("rotated once already, confirmed again -> force the
+  // ladder") and deterministic test seeds both key off this.
+  std::vector<std::atomic<uint64_t>> rotation_epoch(queues);
+  for (auto& e : rotation_epoch) e.store(0);
 
   Stopwatch wall;
   const double rate_pps = config.nic_rate_mpps * 1e6;
@@ -262,6 +285,114 @@ DatapathResult RunDatapath(const DatapathConfig& config,
     const uint64_t thread_begin = ReadCycleCounter();
     std::vector<WireRecord> batch(drain_batch);
 
+    // Attack detection runs at window boundaries on the consumer thread, so
+    // a rotation swaps sketches[q] with no reader racing it (shared-nothing
+    // partitions; the control plane only decodes after quiescence).
+    const bool attack_detection =
+        config.with_sketch && config.attack_window_packets != 0;
+    core::AttackMonitor monitor(config.attack_options);
+    uint64_t last_attack_window = local_progress;
+    bool attack_degrade = false;  // ladder forced on (last-resort response)
+    uint64_t honest_streak = 0;   // consecutive honest windows while forced
+    std::string attack_prefix;
+    if (attack_detection && config.registry != nullptr) {
+      attack_prefix =
+          config.metrics_prefix + ".q" + std::to_string(q) + ".attack";
+    }
+
+    const auto take_checkpoint = [&] {
+      auto image = sketches[q]->SerializeState();
+      const uint64_t seq = ++qs.checkpoint_seq;
+      injector.MaybeCorrupt(q, seq, &image);
+      const size_t image_bytes = image.size();
+      qs.checkpoints.Put(seq, local_progress, std::move(image));
+      checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
+      if (qm.checkpoints) {
+        qm.checkpoints->Add(1);
+        qm.checkpoint_bytes->Add(image_bytes);
+      }
+      last_checkpoint = local_progress;
+    };
+
+    // Last-resort escalation shared by both attack classes: force the
+    // degradation ladder on (if the operator enabled it at all). Lifts after
+    // sustained honest windows — see the kHonest branch below.
+    const auto force_degrade = [&] {
+      if (!config.degrade_enabled || attack_degrade) return;
+      attack_degrade = true;
+      honest_streak = 0;
+      degrade_forced.fetch_add(1, std::memory_order_relaxed);
+      if (qm.attack_degrade_forced) qm.attack_degrade_forced->Add(1);
+    };
+
+    const auto observe_attack_window = [&] {
+      last_attack_window = local_progress;
+      const core::AttackMonitor::Verdict verdict =
+          monitor.ObserveWindow(sketches[q]->Stats());
+      if (!attack_prefix.empty()) {
+        obs::PublishAttackSignals(config.registry, attack_prefix, monitor);
+      }
+      switch (verdict) {
+        case core::AttackMonitor::Verdict::kHonest:
+          if (attack_degrade &&
+              ++honest_streak >=
+                  2 * static_cast<uint64_t>(monitor.options().confirm_windows)) {
+            attack_degrade = false;
+            honest_streak = 0;
+          }
+          break;
+        case core::AttackMonitor::Verdict::kSuspicious:
+          honest_streak = 0;
+          attack_suspicious.fetch_add(1, std::memory_order_relaxed);
+          if (qm.attack_suspicious) qm.attack_suspicious->Add(1);
+          break;
+        case core::AttackMonitor::Verdict::kCollisionConfirmed: {
+          honest_streak = 0;
+          collisions_confirmed.fetch_add(1, std::memory_order_relaxed);
+          if (qm.attack_collision) qm.attack_collision->Add(1);
+          if (!config.rotate_on_attack) {
+            // Rotation disabled by the operator: degradation is the only
+            // remedy left on the ladder.
+            force_degrade();
+            break;
+          }
+          const uint64_t epoch =
+              rotation_epoch[q].fetch_add(1, std::memory_order_relaxed);
+          if (epoch > 0) {
+            // The attacker re-learned a rotated seed (adaptive white-box);
+            // rotating alone is not holding, so also engage the ladder.
+            force_degrade();
+          }
+          uint64_t mix = config.rotation_seed ^
+                         (static_cast<uint64_t>(q) << 32) ^ (epoch + 1);
+          const uint64_t next_seed =
+              config.rotation_seed != 0 ? SplitMix64(mix) : RandomSeed();
+          const core::RotationStats rotation =
+              core::RotateSeed(sketches[q].get(), next_seed);
+          rotations.fetch_add(1, std::memory_order_relaxed);
+          if (qm.seed_rotations) qm.seed_rotations->Add(1);
+          if (!rotation.mass_conserved) {
+            rotation_conserved.store(false, std::memory_order_relaxed);
+          }
+          // The sketch under the counters just changed wholesale; judge the
+          // next window against the fresh baseline.
+          monitor.Reset(sketches[q]->Stats());
+          // Checkpoints from the old epoch carry the old seed and would be
+          // rejected on restore; checkpoint the new epoch immediately so a
+          // crash right after rotation does not fall back to Clear().
+          if (config.checkpoint_interval != 0) take_checkpoint();
+          break;
+        }
+        case core::AttackMonitor::Verdict::kChurnFloodConfirmed:
+          // Seed-independent flood: rotation would not help, degrade does.
+          honest_streak = 0;
+          churn_confirmed.fetch_add(1, std::memory_order_relaxed);
+          if (qm.attack_churn_flood) qm.attack_churn_flood->Add(1);
+          force_degrade();
+          break;
+      }
+    };
+
     const auto flush = [&] {
       qs.exact.fetch_add(local_exact, std::memory_order_relaxed);
       qs.degraded.fetch_add(local_degraded, std::memory_order_relaxed);
@@ -281,8 +412,10 @@ DatapathResult RunDatapath(const DatapathConfig& config,
           config.degrade_enabled ? rings[q]->SizeApprox() : 0;
       const size_t n = rings[q]->PopBatch(batch.data(), drain_batch);
       if (n == 0) return 0;
-      const bool degraded_mode =
-          config.degrade_enabled && ladder.OnOccupancy(occupancy);
+      // The ladder observes occupancy even while the attack response holds
+      // the mode degraded, so its own hysteresis state stays current.
+      bool degraded_mode = config.degrade_enabled && ladder.OnOccupancy(occupancy);
+      if (attack_degrade) degraded_mode = true;
       if (degraded_mode != last_mode_degraded) {
         last_mode_degraded = degraded_mode;
         obs::Counter* transition =
@@ -318,17 +451,11 @@ DatapathResult RunDatapath(const DatapathConfig& config,
       }
       if (config.with_sketch && config.checkpoint_interval != 0 &&
           local_progress - last_checkpoint >= config.checkpoint_interval) {
-        auto image = sketches[q]->SerializeState();
-        const uint64_t seq = ++qs.checkpoint_seq;
-        injector.MaybeCorrupt(q, seq, &image);
-        const size_t image_bytes = image.size();
-        qs.checkpoints.Put(seq, local_progress, std::move(image));
-        checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
-        if (qm.checkpoints) {
-          qm.checkpoints->Add(1);
-          qm.checkpoint_bytes->Add(image_bytes);
-        }
-        last_checkpoint = local_progress;
+        take_checkpoint();
+      }
+      if (attack_detection &&
+          local_progress - last_attack_window >= config.attack_window_packets) {
+        observe_attack_window();
       }
       return n;
     };
@@ -474,6 +601,12 @@ DatapathResult RunDatapath(const DatapathConfig& config,
   health.checkpoints_rejected = checkpoints_rejected.load();
   health.restores = restores.load();
   health.packets_lost_estimate = packets_lost.load();
+  health.attack_windows_suspicious = attack_suspicious.load();
+  health.collision_attacks_confirmed = collisions_confirmed.load();
+  health.churn_floods_confirmed = churn_confirmed.load();
+  health.seed_rotations = rotations.load();
+  health.attack_degrade_forced = degrade_forced.load();
+  health.rotation_mass_conserved = rotation_conserved.load();
 
   if (config.with_sketch) {
     std::vector<query::FlowTable<FiveTuple>> partitions;

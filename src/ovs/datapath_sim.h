@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/attack_monitor.h"
 #include "core/cocosketch.h"
 #include "obs/metrics.h"
 #include "ovs/fault.h"
@@ -68,6 +69,27 @@ struct DatapathConfig {
   // Scripted faults (empty plan = fault-free run).
   FaultPlan faults;
 
+  // --- adversarial hardening (docs/ROBUSTNESS.md) ---
+
+  // Windowed attack detection (core/attack_monitor.h): every
+  // `attack_window_packets` drained packets, a queue snapshots its sketch
+  // stats and classifies the window. 0 = detection off (no cost).
+  uint64_t attack_window_packets = 0;
+  core::AttackMonitor::Options attack_options;
+
+  // Escalation on a confirmed COLLISION attack: rotate the queue's sketch to
+  // a fresh seed (core/seed_rotation.h epoch-swap — old state decoded once
+  // and replayed, mass conserved). A collision confirmed again after a
+  // rotation (adaptive attacker), or a confirmed churn flood
+  // (seed-independent), instead forces the degrade ladder on — the last
+  // resort, only available when degrade_enabled is set. The forced
+  // degradation lifts after sustained honest windows.
+  bool rotate_on_attack = false;
+  // 0 = rotate onto fresh entropy (production: the attacker must not be able
+  // to predict the next seed). Nonzero gives deterministic rotation targets
+  // for tests, derived per queue and per rotation.
+  uint64_t rotation_seed = 0;
+
   // --- observability (docs/OBSERVABILITY.md) ---
 
   // When set, the datapath publishes live per-queue counters and histograms
@@ -76,6 +98,9 @@ struct DatapathConfig {
   //   <prefix>.q<q>.degrade_enter / .degrade_exit
   //   <prefix>.q<q>.stalls_detected / .restores
   //   <prefix>.q<q>.checkpoints / .checkpoint_bytes / .checkpoints_rejected
+  //   <prefix>.q<q>.attack_suspicious / .attack_collision /
+  //     .attack_churn_flood / .seed_rotations / .attack_degrade_forced
+  //   <prefix>.q<q>.attack.*                          (window gauges)
   //   <prefix>.q<q>.batch_fill / .drain_cycles        (histograms)
   //   <prefix>.q<q>.sketch.*                          (gauges, end of run)
   //   <prefix>.run.mpps / .measurement_cpu_fraction   (gauges, end of run)
@@ -125,6 +150,15 @@ struct DatapathHealth {
   // the consumer). The merged table's total is >= fault-free total minus
   // this bound.
   uint64_t packets_lost_estimate = 0;
+  // Adversarial hardening (attack_window_packets > 0):
+  uint64_t attack_windows_suspicious = 0;  // threshold crossings (pre-confirm)
+  uint64_t collision_attacks_confirmed = 0;
+  uint64_t churn_floods_confirmed = 0;
+  uint64_t seed_rotations = 0;             // epoch-swaps executed
+  uint64_t attack_degrade_forced = 0;      // last-resort ladder activations
+  // False only if some rotation's replay failed to conserve sketch mass —
+  // must stay true (asserted in tests alongside ReadConservation).
+  bool rotation_mass_conserved = true;
 };
 
 struct DatapathResult {

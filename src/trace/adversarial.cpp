@@ -1,0 +1,167 @@
+#include "trace/adversarial.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "hash/bobhash.h"
+#include "hash/multihash.h"
+
+namespace coco::trace {
+
+namespace {
+
+// Encodes a d-slot bucket vector as one 64-bit map key. d == 2 (the paper's
+// operating point) is exact; wider d folds through Hash64, where a spurious
+// 64-bit collision would only misfile one crafted key — harmless for an
+// attack generator.
+uint64_t EncodeSlotVector(const uint32_t* slots, size_t d) {
+  if (d == 1) return slots[0];
+  if (d == 2) {
+    return (static_cast<uint64_t>(slots[0]) << 32) | slots[1];
+  }
+  return hash::Hash64(slots, d * sizeof(uint32_t), 0x51075107ULL);
+}
+
+FiveTuple RandomFiveTuple(Rng& rng) {
+  return FiveTuple(rng.Next32(), rng.Next32(),
+                   static_cast<uint16_t>(rng.Next32()),
+                   static_cast<uint16_t>(rng.Next32()),
+                   rng.Bernoulli(0.5) ? uint8_t{6} : uint8_t{17});
+}
+
+}  // namespace
+
+CollisionAttack CraftCollisionKeys(uint64_t sketch_seed, size_t d, size_t l,
+                                   const std::vector<FiveTuple>& victims,
+                                   size_t keys_per_victim,
+                                   uint64_t candidate_budget,
+                                   uint64_t search_seed) {
+  COCO_CHECK(d >= 1 && d <= hash::MultiHash::kMaxIndices, "d out of range");
+  COCO_CHECK(l >= 1, "l must be positive");
+  CollisionAttack attack;
+  if (victims.empty() || keys_per_victim == 0) return attack;
+
+  // The attacker replicates the sketch's exact index derivation — this is
+  // the white-box assumption the keyed-hashing defence removes.
+  hash::MultiHash mh(sketch_seed, d, l);
+  uint32_t slots[hash::MultiHash::kMaxIndices];
+
+  struct VictimSlot {
+    size_t victim = 0;
+    std::vector<FiveTuple> keys;
+  };
+  std::unordered_map<uint64_t, VictimSlot> wanted;
+  wanted.reserve(victims.size());
+  for (size_t v = 0; v < victims.size(); ++v) {
+    mh.Slots(victims[v].data(), victims[v].size(), slots);
+    VictimSlot& entry = wanted[EncodeSlotVector(slots, d)];
+    entry.victim = v;  // two victims sharing a vector share crafted keys
+  }
+
+  Rng rng(search_seed);
+  size_t fully_served = 0;
+  for (uint64_t trial = 0;
+       trial < candidate_budget && fully_served < wanted.size(); ++trial) {
+    ++attack.candidates_tried;
+    const FiveTuple candidate = RandomFiveTuple(rng);
+    mh.Slots(candidate.data(), candidate.size(), slots);
+    auto it = wanted.find(EncodeSlotVector(slots, d));
+    if (it == wanted.end()) continue;
+    if (it->second.keys.size() >= keys_per_victim) continue;
+    it->second.keys.push_back(candidate);
+    if (it->second.keys.size() == keys_per_victim) ++fully_served;
+  }
+
+  // Round-robin across victims so a prefix of keys[] already spreads churn
+  // over every victim that got at least one hit.
+  size_t victims_hit = 0;
+  for (const auto& [vec, entry] : wanted) {
+    victims_hit += !entry.keys.empty();
+  }
+  attack.victims_targeted = victims_hit;
+  for (size_t round = 0; round < keys_per_victim; ++round) {
+    for (const auto& [vec, entry] : wanted) {
+      if (round < entry.keys.size()) attack.keys.push_back(entry.keys[round]);
+    }
+  }
+  return attack;
+}
+
+AdversarialTrace BuildCollisionTrace(const std::vector<Packet>& honest,
+                                     const CollisionAttack& attack,
+                                     size_t attack_packets,
+                                     double start_fraction) {
+  AdversarialTrace out;
+  out.attack_flows = attack.keys.size();
+  if (attack.keys.empty() || attack_packets == 0) {
+    out.packets = honest;
+    out.attack_start = honest.size();
+    return out;
+  }
+  if (start_fraction < 0.0) start_fraction = 0.0;
+  if (start_fraction > 1.0) start_fraction = 1.0;
+  const size_t start =
+      static_cast<size_t>(static_cast<double>(honest.size()) * start_fraction);
+  out.attack_start = start;
+  out.attack_packets = attack_packets;
+  out.packets.reserve(honest.size() + attack_packets);
+  out.packets.insert(out.packets.end(), honest.begin(),
+                     honest.begin() + static_cast<ptrdiff_t>(start));
+
+  // Proportional interleave via error accumulator: both streams drain
+  // together, deterministically.
+  const size_t honest_tail = honest.size() - start;
+  size_t h = start, a = 0;
+  double acc = 0.0;
+  const double rate = honest_tail == 0
+                          ? 1.0
+                          : static_cast<double>(attack_packets) /
+                                static_cast<double>(honest_tail);
+  while (h < honest.size() || a < attack_packets) {
+    if (h < honest.size()) {
+      out.packets.push_back(honest[h++]);
+      acc += rate;
+    } else {
+      acc = 1.0;
+    }
+    while (acc >= 1.0 && a < attack_packets) {
+      acc -= 1.0;
+      out.packets.push_back(Packet{attack.keys[a % attack.keys.size()], 1});
+      ++a;
+    }
+  }
+  return out;
+}
+
+AdversarialTrace BuildFlashCrowdTrace(const std::vector<Packet>& honest,
+                                      size_t crowd_flows,
+                                      size_t packets_per_flow,
+                                      double start_fraction, uint64_t seed) {
+  Rng rng(seed);
+  CollisionAttack crowd;  // reuse the interleaver: a crowd is just an
+                          // uncrafted key set
+  crowd.keys.reserve(crowd_flows);
+  for (size_t i = 0; i < crowd_flows; ++i) {
+    crowd.keys.push_back(RandomFiveTuple(rng));
+  }
+  return BuildCollisionTrace(honest, crowd, crowd_flows * packets_per_flow,
+                             start_fraction);
+}
+
+std::vector<Packet> GenerateUniformTrace(size_t num_packets, size_t num_flows,
+                                         uint64_t seed) {
+  COCO_CHECK(num_flows >= 1, "need at least one flow");
+  Rng rng(seed);
+  std::vector<FiveTuple> flows;
+  flows.reserve(num_flows);
+  for (size_t i = 0; i < num_flows; ++i) flows.push_back(RandomFiveTuple(rng));
+  std::vector<Packet> out;
+  out.reserve(num_packets);
+  for (size_t i = 0; i < num_packets; ++i) {
+    out.push_back(Packet{flows[rng.NextBelow(num_flows)], 1});
+  }
+  return out;
+}
+
+}  // namespace coco::trace

@@ -1,0 +1,87 @@
+// Hostile workload generators (docs/ROBUSTNESS.md "Threat model &
+// adversarial hardening"; ROADMAP "adversarial traces").
+//
+// Three attack classes, each with ground truth via trace::CountTrace so
+// accuracy under attack is scored exactly like accuracy under honest load:
+//
+//  1. White-box collision crafting (CraftCollisionKeys + BuildCollisionTrace):
+//     the attacker knows the sketch's hash seed and geometry (d, l) — the
+//     historical fixed-seed deployment — and searches random candidate keys
+//     for ones whose d mapped buckets ALL coincide with a victim heavy
+//     hitter's. Cycling attack packets through the crafted keys churns the
+//     victim's buckets (each crafted arrival misses pass 1 and draws a
+//     replacement against the victim's counters), evicting victims and
+//     piling attack mass under arbitrary surviving keys. Expected search
+//     cost is l^d candidates per victim hit, which is why key-value sketches
+//     at realistic l are attackable at all: a few million hash trials cover
+//     every victim at bench scale.
+//
+//  2. Flash-crowd churn (BuildFlashCrowdTrace): a sudden burst of many new
+//     small flows (DDoS-like), hashing uniformly — seed-independent. Stresses
+//     occupancy and replacement churn rather than specific buckets.
+//
+//  3. Uniform no-heavy-tail traffic (GenerateUniformTrace): every flow the
+//     same expected size; there are no heavy hitters to hide behind, so
+//     per-flow unbiasedness is the only accuracy defence. Used by the
+//     unbiasedness property test and as a sustained-churn workload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "packet/keys.h"
+
+namespace coco::trace {
+
+// A crafted key set targeting specific victims' bucket vectors under a known
+// (seed, d, l). keys[] is ordered round-robin across victims so cycling
+// through it spreads churn over every targeted victim evenly.
+struct CollisionAttack {
+  std::vector<FiveTuple> keys;
+  size_t victims_targeted = 0;   // victims with >= 1 crafted key
+  uint64_t candidates_tried = 0;  // white-box search cost (hash trials)
+};
+
+// Searches up to `candidate_budget` random candidate keys for ones whose d
+// mapped buckets all equal some victim's, collecting at most
+// `keys_per_victim` per victim. `victims` are the keys whose estimates the
+// attacker wants to destroy (typically the heavy hitters of the honest
+// workload, which the attacker can often guess or measure externally).
+CollisionAttack CraftCollisionKeys(uint64_t sketch_seed, size_t d, size_t l,
+                                   const std::vector<FiveTuple>& victims,
+                                   size_t keys_per_victim,
+                                   uint64_t candidate_budget,
+                                   uint64_t search_seed);
+
+// A hostile trace: honest background with attack packets interleaved from
+// attack_start onward. Ground truth is CountTrace(packets) — crafted flows
+// are real traffic too, and their estimates are scored like any other.
+struct AdversarialTrace {
+  std::vector<Packet> packets;
+  size_t attack_start = 0;    // index of the first possible attack packet
+  size_t attack_packets = 0;  // attack packets actually interleaved
+  size_t attack_flows = 0;    // distinct attack keys
+};
+
+// Interleaves `attack_packets` packets cycling through `attack.keys` into
+// `honest`, starting after `start_fraction` of the honest stream has played
+// (the attacker turns on mid-measurement). Proportional interleave: the
+// attack and the honest tail finish together.
+AdversarialTrace BuildCollisionTrace(const std::vector<Packet>& honest,
+                                     const CollisionAttack& attack,
+                                     size_t attack_packets,
+                                     double start_fraction);
+
+// A burst of `crowd_flows` fresh random flows, `packets_per_flow` packets
+// each, interleaved after `start_fraction` of the honest stream.
+AdversarialTrace BuildFlashCrowdTrace(const std::vector<Packet>& honest,
+                                      size_t crowd_flows,
+                                      size_t packets_per_flow,
+                                      double start_fraction, uint64_t seed);
+
+// `num_packets` unit-weight packets over `num_flows` equally likely flows.
+std::vector<Packet> GenerateUniformTrace(size_t num_packets, size_t num_flows,
+                                         uint64_t seed);
+
+}  // namespace coco::trace

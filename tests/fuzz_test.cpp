@@ -163,8 +163,9 @@ void FuzzStateImages(uint64_t seed) {
     // Even with the checksum recomputed for the foreign version.
     const uint64_t d = LoadBE64(skewed.data() + 8);
     const uint64_t l = LoadBE64(skewed.data() + 16);
-    StoreBE64(skewed.data() + 24,
-              core::StateChecksum(version, d, l,
+    const uint64_t image_seed = LoadBE64(skewed.data() + 24);
+    StoreBE64(skewed.data() + 32,
+              core::StateChecksum(version, d, l, image_seed,
                                   skewed.data() + core::kStateHeaderBytes,
                                   skewed.size() - core::kStateHeaderBytes));
     EXPECT_FALSE(sketch.RestoreState(skewed)) << "accepted resealed version "

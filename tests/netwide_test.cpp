@@ -72,6 +72,26 @@ TEST(Merge, MismatchRejected) {
   EXPECT_EQ(base.SerializeState(), before);
 }
 
+TEST(Merge, SeedMismatchFlaggedDistinctlyFromGeometry) {
+  // A foreign-seed shard is a misconfiguration hazard (silently wrong key
+  // attribution), so the refusal carries its own flag — callers surface it
+  // separately from a plain geometry mismatch.
+  Rng rng(1);
+  CocoSketch<FiveTuple> base(KiB(8), 2, 77);
+  base.Update(FiveTuple(1, 2, 3, 4, 6), 100);
+
+  CocoSketch<FiveTuple> other_seed(KiB(8), 2, 78);
+  other_seed.Update(FiveTuple(5, 6, 7, 8, 6), 9);
+  const MergeStats seed_stats = MergeSketches(&base, other_seed, &rng);
+  EXPECT_FALSE(seed_stats.ok);
+  EXPECT_TRUE(seed_stats.seed_mismatch);
+
+  CocoSketch<FiveTuple> other_d(KiB(8), 4, 77);
+  const MergeStats geo_stats = MergeSketches(&base, other_d, &rng);
+  EXPECT_FALSE(geo_stats.ok);
+  EXPECT_FALSE(geo_stats.seed_mismatch);
+}
+
 TEST(Merge, ValueSaturatesInsteadOfWrapping) {
   CocoSketch<IPv4Key> a(KiB(1), 1, 5), b(KiB(1), 1, 5);
   auto& ab = a.MutableBuckets();
@@ -746,6 +766,53 @@ TEST(Netwide, CollectorSurvivesHostileFrames) {
   Converge({&agent}, &collector);
   EXPECT_EQ(agent.last_acked_epoch(), 2u);
   EXPECT_TRUE(collector.CheckConservation().Holds());
+}
+
+// Satellite (adversarial hardening): an agent measuring under a different
+// hash seed must never be aggregated — its payloads map mass onto the wrong
+// buckets. The collector nacks every full image and delta from it, counts
+// the mismatches, and the network-wide view contains only the honest agent's
+// mass.
+TEST(Netwide, ForeignSeedAgentRejectedNeverAggregated) {
+  LoopbackHub hub;
+  obs::Registry registry;
+  auto ct = hub.MakeCollectorTransport();
+  auto options = CollectorOptions();
+  options.seed = 0x1234;
+  NetCollector collector(options, &ct, &registry);
+
+  Sketch good(kMem, 2, 0x1234);
+  Sketch rogue(kMem, 2, 0x4321);  // misconfigured vantage point
+  auto good_t = hub.MakeAgentTransport(1);
+  auto rogue_t = hub.MakeAgentTransport(2);
+  NetAgent good_agent({.id = 1}, &good, &good_t, &registry);
+  NetAgent rogue_agent({.id = 2}, &rogue, &rogue_t, &registry);
+
+  uint64_t good_mass = 0;
+  for (uint32_t i = 0; i < 4000; ++i) {
+    good.Update(FiveTuple(i % 61, 2, 3, 4, 6), 1 + i % 7);
+    good_mass += 1 + i % 7;
+    rogue.Update(FiveTuple(i % 61, 2, 3, 4, 6), 1 + i % 7);
+  }
+  good_agent.ExportEpoch();
+  rogue_agent.ExportEpoch();
+  // The rogue can never converge (every payload is nacked, and the demanded
+  // full resync is nacked too), so run a bounded number of rounds.
+  for (int t = 0; t < 300; ++t) {
+    good_agent.Tick();
+    rogue_agent.Tick();
+    collector.Tick();
+  }
+
+  EXPECT_EQ(good_agent.last_acked_epoch(), 1u);
+  EXPECT_EQ(rogue_agent.last_acked_epoch(), 0u);
+  EXPECT_GT(registry.GetCounter("net.collector.seed_mismatches")->Value(),
+            0u);
+  // Conservation holds over the replicas that exist, and the rogue's mass is
+  // nowhere in the books.
+  const auto c = collector.CheckConservation();
+  EXPECT_TRUE(c.Holds());
+  EXPECT_EQ(c.replica_mass, good_mass);
 }
 
 // Threaded loopback: agents on their own threads against a collector thread,
