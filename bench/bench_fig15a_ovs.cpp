@@ -3,13 +3,25 @@
 // cap. On the paper's testbed throughput saturates the 40G NIC at >= 2
 // threads with < 1.8% CPU overhead from the sketch.
 //
-// NOTE: on hosts with fewer cores than datapath threads the thread-scaling
-// effect is muted (threads time-share); the NIC-cap saturation shape is
-// still visible.
+// Second half: the multi-core scale-out curve (ovs/scaleout.h) — RSS flow
+// steering, per-shard single-writer sketches, work stealing — run UNCAPPED
+// so the compute path itself is what scales, swept over thread counts up to
+// the host's hardware concurrency (8 always included, per the scale-out
+// acceptance gate). Per-core efficiency divides by min(threads, host cores):
+// on hosts with fewer cores than threads the extra threads time-share, which
+// is oversubscription, not a scaling defect.
+//
+// Emits BENCH_fig15a_scaling.json (bench/bench_json.h) for
+// scripts/bench_compare.sh; the per_core_efficiency metrics are the ones the
+// CI regression gate watches (> 5% drop fails).
+#include <algorithm>
 #include <thread>
+#include <vector>
 
+#include "bench_json.h"
 #include "harness.h"
 #include "ovs/datapath_sim.h"
+#include "ovs/scaleout.h"
 
 using namespace coco;
 using namespace coco::bench;
@@ -17,10 +29,11 @@ using namespace coco::bench;
 int main() {
   const auto trace = trace::GenerateTrace(
       trace::TraceConfig::CaidaLike(BenchPackets(400'000)));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::printf(
       "Figure 15(a): OVS throughput vs threads (%zu pkts, NIC cap 13 Mpps, "
       "host has %u cores)\n",
-      trace.size(), std::thread::hardware_concurrency());
+      trace.size(), hw);
 
   std::vector<double> with_sketch, without_sketch, overhead, batch_fill;
   for (size_t threads = 1; threads <= 4; ++threads) {
@@ -39,15 +52,65 @@ int main() {
     without_sketch.push_back(ovs::RunDatapath(without, trace).mpps);
   }
 
-  PrintHeader("Fig 15(a): throughput (Mpps) vs threads");
+  PrintHeader("Fig 15(a): throughput (Mpps) vs threads, NIC-capped");
   PrintColumns("config", {"1", "2", "3", "4"});
   PrintRow("OVS w/o", without_sketch, " %8.2f");
   PrintRow("OVS w/", with_sketch, " %8.2f");
   PrintRow("upd-cpu%", overhead, " %8.2f");
   PrintRow("batchfill", batch_fill, " %8.2f");
 
+  // ---- Scale-out curve: uncapped, all cores -------------------------------
+  std::vector<size_t> counts;
+  for (size_t n = 1; n <= std::max<unsigned>(hw, 8); n *= 2) {
+    counts.push_back(n);
+  }
+  if (counts.back() != hw && hw > counts.back()) counts.push_back(hw);
+
+  BenchJson json("fig15a_scaling");
+  json.Context("packets", std::to_string(trace.size()));
+  json.Context("host_cores", std::to_string(hw));
+  json.Context("workload", "caida-like zipf");
+
+  std::vector<double> mpps_curve, eff_curve;
+  double mpps_one = 0.0;
+  for (const size_t n : counts) {
+    ovs::ScaleoutConfig config;
+    config.num_shards = n;
+    config.num_workers = n;
+    config.sketch_memory_bytes = KiB(512);
+    // Best-of-3: throughput on a time-shared host is scheduler-noisy, and
+    // the regression gate watches a ratio of two noisy numbers. The fastest
+    // run is the least-perturbed one.
+    double mpps = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      mpps = std::max(mpps, ovs::RunScaleout(config, trace).mpps);
+    }
+    if (n == 1) mpps_one = mpps;
+    // Efficiency is per PHYSICAL core actually available: threads beyond
+    // hw concurrency time-share, so they are excluded from the divisor.
+    const double cores_used = static_cast<double>(std::min<size_t>(n, hw));
+    const double eff = mpps_one > 0.0 ? mpps / (cores_used * mpps_one) : 0.0;
+    mpps_curve.push_back(mpps);
+    eff_curve.push_back(eff);
+    const std::string key = "fig15a_scaling/t" + std::to_string(n);
+    json.Metric(key + "/mpps", mpps);
+    json.Metric(key + "/per_core_efficiency", eff);
+  }
+
+  std::vector<std::string> labels;
+  for (const size_t n : counts) labels.push_back(std::to_string(n));
+  PrintHeader("Scale-out: uncapped Mpps vs shard/worker threads");
+  PrintColumns("threads", labels);
+  PrintRow("mpps", mpps_curve, " %8.2f");
+  PrintRow("per-core", eff_curve, " %8.2f");
+
+  const char* json_path = std::getenv("COCO_BENCH_JSON");
+  json.Write(json_path ? json_path : "BENCH_fig15a_scaling.json");
+
   std::printf(
-      "\nExpected shape (paper): both configs climb with threads and pin at "
-      "the NIC\nline rate; adding CocoSketch costs <1.8%% measurement CPU.\n");
+      "\nExpected shape (paper): NIC-capped configs pin at line rate with "
+      "<1.8%% sketch CPU;\nthe uncapped scale-out curve climbs with cores at "
+      ">= 0.7 per-core efficiency at 8\nthreads (single-writer shards, no "
+      "locks on the update path).\n");
   return 0;
 }

@@ -15,6 +15,10 @@
 # Generating snapshots:
 #   build/bench/bench_micro_update --benchmark_filter='^$'   # tier table only
 #   build/bench/bench_fig14_cpu                              # slower, full roster
+#   build/bench/bench_fig15a_ovs   # BENCH_fig15a_scaling.json: the scale-out
+#                                  # curve; its per_core_efficiency metrics
+#                                  # gate multi-core regressions (>5% drop
+#                                  # at any thread count fails CI)
 # Each writes its BENCH_*.json into the working directory (override the path
 # via COCO_BENCH_JSON). Typical flow:
 #   git stash && build-and-run -> cp BENCH_micro_update.json /tmp/base.json

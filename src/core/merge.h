@@ -133,6 +133,32 @@ MergeStats MergeSketches(HwCocoSketch<Key>* dst, const HwCocoSketch<Key>& src,
   return internal::MergeBucketArrays(dst, src, rng);
 }
 
+// N-way merge for epoch publication (ovs/scaleout.h): fold every source
+// shard into `dst`, accumulating stats. All sources must share geometry and
+// seed with dst; the first incompatible source stops the fold with ok ==
+// false (dst then holds the partial merge of the sources before it — the
+// scale-out collector treats that as a hard protocol error, since shards of
+// one datapath are constructed identically by design).
+template <typename Sketch>
+MergeStats MergeAll(Sketch* dst, const std::vector<const Sketch*>& sources,
+                    Rng* rng) {
+  MergeStats total;
+  total.ok = true;
+  for (const Sketch* src : sources) {
+    const MergeStats s = MergeSketches(dst, *src, rng);
+    if (!s.ok) {
+      total.ok = false;
+      total.seed_mismatch = s.seed_mismatch;
+      return total;
+    }
+    total.matched += s.matched;
+    total.copied += s.copied;
+    total.conflicts += s.conflicts;
+    total.saturated += s.saturated;
+  }
+  return total;
+}
+
 // USS merge baseline: combine decoded entry sets and collapse back down to
 // `capacity` entries with the unbiased pairwise rule — repeatedly fold the
 // two smallest entries into one carrying their combined mass, keeping each

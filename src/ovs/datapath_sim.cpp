@@ -8,6 +8,7 @@
 #include <thread>
 
 #include <string>
+#include <string_view>
 
 #include "common/check.h"
 #include "common/cycle_clock.h"
@@ -114,6 +115,34 @@ ConservationView ReadConservation(obs::Registry* registry, size_t num_queues,
     view.degraded += registry->GetCounter(base + "degraded")->Value();
     view.rx_dropped += registry->GetCounter(base + "rx_dropped")->Value();
   }
+  return view;
+}
+
+ConservationView ReadConservation(obs::Registry* registry,
+                                  const std::string& prefix) {
+  COCO_CHECK(registry != nullptr, "conservation check needs a registry");
+  const std::string stem = prefix + ".q";
+  ConservationView view;
+  registry->ForEachCounter([&](std::string_view name, const obs::Counter& c) {
+    if (name.substr(0, stem.size()) != stem) return;
+    // Expect `<stem><digits>.<leaf>`.
+    std::string_view rest = name.substr(stem.size());
+    size_t digits = 0;
+    while (digits < rest.size() && rest[digits] >= '0' && rest[digits] <= '9') {
+      ++digits;
+    }
+    if (digits == 0 || digits >= rest.size() || rest[digits] != '.') return;
+    const std::string_view leaf = rest.substr(digits + 1);
+    if (leaf == "offered") {
+      view.offered += c.Value();
+    } else if (leaf == "exact") {
+      view.exact += c.Value();
+    } else if (leaf == "degraded") {
+      view.degraded += c.Value();
+    } else if (leaf == "rx_dropped") {
+      view.rx_dropped += c.Value();
+    }
+  });
   return view;
 }
 
@@ -635,6 +664,10 @@ DatapathResult RunDatapath(const DatapathConfig& config,
         ->Set(result.avg_batch_fill);
     config.registry->GetGauge(run + "degraded_fraction")
         ->Set(health.degraded_fraction);
+    // Current pool width, for dashboards; the conservation discovery scan
+    // deliberately ignores this and sums every q<i> that ever counted.
+    config.registry->GetGauge(run + "num_queues")
+        ->Set(static_cast<double>(queues));
   }
   return result;
 }

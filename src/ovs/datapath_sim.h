@@ -130,6 +130,18 @@ struct ConservationView {
 ConservationView ReadConservation(obs::Registry* registry, size_t num_queues,
                                   const std::string& prefix = "ovs");
 
+// Discovery overload: scans the registry for every `<prefix>.q<i>.*` counter
+// instead of taking the queue count as a parameter. The explicit-count
+// overload bakes num_queues into the call site, which silently under-counts
+// when the queue/shard pool is resized between runs against one registry
+// (counters for retired queues keep their mass — conservation must include
+// them). Both datapaths also publish `<prefix>.run.num_queues` as a gauge so
+// dashboards see the CURRENT width while this check sees every queue that
+// ever counted. Scaleout uses this overload exclusively: with work stealing
+// the per-queue balance intentionally does not hold, only this global sum.
+ConservationView ReadConservation(obs::Registry* registry,
+                                  const std::string& prefix = "ovs");
+
 // Robustness observability: every counter the fault-tolerance layer
 // maintains. In a fault-free, non-degraded run all fields stay zero except
 // packets_exact.

@@ -1,0 +1,619 @@
+#include "ovs/scaleout.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/cycle_clock.h"
+#include "common/rng.h"
+#include "core/cocosketch.h"
+#include "core/merge.h"
+#include "core/sampled_cocosketch.h"
+#include "ovs/degrade.h"
+#include "ovs/epoch.h"
+#include "ovs/watchdog.h"
+
+namespace coco::ovs {
+namespace {
+
+using Sketch = core::CocoSketch<FiveTuple>;
+
+// epoch_done sentinel: the shard's worker exited and will never publish
+// again; the collector must stop waiting and leave the mass to the final
+// quiescent sweep.
+constexpr uint64_t kShardRetired = UINT64_MAX;
+
+// Per-shard registry handles, resolved before the threads start (the
+// registry lock never appears on a hot path). Null when uninstrumented.
+struct ShardMetrics {
+  obs::Counter* offered = nullptr;
+  obs::Counter* exact = nullptr;
+  obs::Counter* degraded = nullptr;
+  obs::Counter* rx_dropped = nullptr;
+  obs::Counter* steal_events = nullptr;    // steals INTO this shard
+  obs::Counter* stolen_records = nullptr;  // records re-steered to this shard
+  obs::Gauge* occupancy = nullptr;
+  obs::Gauge* epoch = nullptr;
+};
+
+ShardMetrics ResolveShardMetrics(obs::Registry* registry,
+                                 const std::string& prefix, size_t s) {
+  ShardMetrics m;
+  if (registry == nullptr) return m;
+  const std::string base = prefix + ".q" + std::to_string(s) + ".";
+  m.offered = registry->GetCounter(base + "offered");
+  m.exact = registry->GetCounter(base + "exact");
+  m.degraded = registry->GetCounter(base + "degraded");
+  m.rx_dropped = registry->GetCounter(base + "rx_dropped");
+  m.steal_events = registry->GetCounter(base + "steal_events");
+  m.stolen_records = registry->GetCounter(base + "stolen_records");
+  m.occupancy = registry->GetGauge(base + "occupancy");
+  m.epoch = registry->GetGauge(base + "epoch");
+  return m;
+}
+
+// Merge the given shard sketches into a fresh per-shard-geometry snapshot
+// and fold its decode into `table`. Returns the fold's conflict count.
+uint64_t FoldEpochSketches(const std::vector<const Sketch*>& sources,
+                           size_t per_shard_memory, size_t d, uint64_t seed,
+                           Rng* rng,
+                           std::unordered_map<FiveTuple, uint64_t>* table) {
+  if (sources.empty()) return 0;
+  Sketch snapshot(per_shard_memory, d, seed);
+  const core::MergeStats stats = core::MergeAll(&snapshot, sources, rng);
+  COCO_CHECK(stats.ok, "epoch publication merged incompatible shards");
+  for (const auto& [key, value] : snapshot.Decode()) (*table)[key] += value;
+  return stats.conflicts;
+}
+
+}  // namespace
+
+ScaleoutResult RunScaleout(const ScaleoutConfig& config,
+                           const std::vector<Packet>& trace) {
+  const size_t S = config.num_shards;
+  const size_t W = config.num_workers;
+  COCO_CHECK(S >= 1 && W >= 1 && W <= S,
+             "scale-out needs 1 <= workers <= shards");
+  const size_t drain_batch = config.drain_batch < 1 ? 1 : config.drain_batch;
+  const size_t per_shard_memory = config.sketch_memory_bytes / S;
+
+  ScaleoutResult result;
+  result.topology =
+      PlaceShards(S, W, config.num_groups, config.placement_cost);
+  const ShardTopology& topo = result.topology;
+
+  // RSS stage: pre-steer the trace into per-shard producer lists, so the
+  // producer threads only pace and push (matching DatapathSim's pre-stripe).
+  uint64_t steer_seed = config.steering_seed;
+  if (steer_seed == 0) {
+    uint64_t mix = config.seed;
+    steer_seed = SplitMix64(mix);
+  }
+  const FlowSteering steering(steer_seed, S);
+  std::vector<std::vector<Packet>> striped(S);
+  for (auto& v : striped) v.reserve(trace.size() / S + 1);
+  for (const Packet& p : trace) striped[steering.Shard(p.key)].push_back(p);
+
+  std::vector<std::unique_ptr<SpscRing<Packet>>> rings;
+  rings.reserve(S);
+  for (size_t s = 0; s < S; ++s) {
+    rings.push_back(std::make_unique<SpscRing<Packet>>(config.ring_capacity));
+  }
+
+  // Triple-buffered per-shard sketch pairs; one shared hash seed so epoch
+  // publication can merge sketch-level.
+  std::vector<std::unique_ptr<EpochShard<FiveTuple>>> shards;
+  shards.reserve(S);
+  for (size_t s = 0; s < S; ++s) {
+    shards.push_back(std::make_unique<EpochShard<FiveTuple>>(
+        per_shard_memory, config.d, config.seed));
+  }
+
+  std::vector<ShardMetrics> metrics;
+  metrics.reserve(S);
+  for (size_t s = 0; s < S; ++s) {
+    metrics.push_back(
+        ResolveShardMetrics(config.registry, config.metrics_prefix, s));
+  }
+
+  // Shared run state.
+  std::atomic<uint64_t> issued{0};  // NIC token accounting (rate-capped mode)
+  std::vector<std::atomic<bool>> producer_done(S);
+  for (auto& f : producer_done) f.store(false);
+  std::vector<std::atomic<bool>> worker_done(W);
+  for (auto& f : worker_done) f.store(false);
+  std::vector<std::atomic<uint64_t>> worker_progress(W);
+  for (auto& p : worker_progress) p.store(0);
+  // Writer-exclusion probe: 0 = free, w+1 = worker w inside an apply
+  // section. A failed claim means two workers raced one sketch — the
+  // single-writer invariant the steal path must preserve.
+  std::vector<std::atomic<uint32_t>> sketch_writer(S);
+  for (auto& f : sketch_writer) f.store(0);
+  // Last epoch each shard published (kShardRetired once its worker exits).
+  std::vector<std::atomic<uint64_t>> epoch_done(S);
+  for (auto& e : epoch_done) e.store(0);
+  // Residual per-epoch weight in each shard's active sketch at worker exit;
+  // written by the owner before worker_done flips, read after join.
+  std::vector<uint64_t> final_epoch_weight(S, 0);
+
+  std::atomic<uint64_t> requested_epoch{0};
+  std::atomic<uint64_t> drained_total{0};
+  std::atomic<uint64_t> total_exact{0};
+  std::atomic<uint64_t> total_degraded{0};
+  std::atomic<uint64_t> steal_events{0};
+  std::atomic<uint64_t> stolen_records{0};
+  std::atomic<uint64_t> rotations{0};
+  std::atomic<uint64_t> rotation_refusals{0};
+  std::atomic<uint64_t> stalls_detected{0};
+  std::atomic<bool> single_writer_violated{false};
+
+  // Start gate: no producer or worker proceeds until every thread has been
+  // spawned. Without it, on a host that serializes threads onto few cores,
+  // the first producer/worker pair can process the entire trace before the
+  // remaining workers exist — idle thieves would never observe the backlog
+  // and the wall-clock would charge thread-spawn latency to the datapath.
+  std::atomic<bool> start_gate{false};
+
+  Stopwatch wall;
+  const double rate_pps = config.nic_rate_mpps * 1e6;
+  const bool drop_mode = config.overflow == OverflowPolicy::kDropNewest;
+
+  // ---- Producers: one per shard ring (single-producer invariant), pacing
+  // against the shared NIC token bucket when a rate cap is set. ----
+  std::vector<std::thread> producers;
+  producers.reserve(S);
+  for (size_t s = 0; s < S; ++s) {
+    producers.emplace_back([&, s] {
+      while (!start_gate.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const ShardMetrics& sm = metrics[s];
+      for (const Packet& rec : striped[s]) {
+        if (rate_pps > 0) {
+          const uint64_t my_slot =
+              issued.fetch_add(1, std::memory_order_relaxed);
+          while (static_cast<double>(my_slot) >=
+                 wall.ElapsedSeconds() * rate_pps) {
+            std::this_thread::yield();
+          }
+        }
+        if (sm.offered) sm.offered->Add(1);
+        if (drop_mode) {
+          if (!rings[s]->PushOrDrop(rec) && sm.rx_dropped) {
+            sm.rx_dropped->Add(1);
+          }
+        } else {
+          while (!rings[s]->TryPush(rec)) std::this_thread::yield();
+        }
+      }
+      producer_done[s].store(true, std::memory_order_release);
+    });
+  }
+
+  // ---- Workers ----
+  const auto worker_fn = [&](size_t w) {
+    while (!start_gate.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    const std::vector<size_t>& owned = topo.worker_shards[w];
+    const size_t home = owned[0];  // steal target: re-steered records go here
+
+    // Per-owned-shard consumer state (ladder, gate, epoch accounting).
+    struct ShardCtx {
+      DegradeLadder ladder;
+      std::optional<core::SamplingGate> gate;
+      uint64_t epoch_weight = 0;  // weight applied this epoch
+      uint64_t cur_epoch = 0;
+    };
+    std::vector<ShardCtx> ctx;
+    ctx.reserve(owned.size());
+    for (size_t i = 0; i < owned.size(); ++i) {
+      ctx.push_back({DegradeLadder(config.degrade_high_watermark,
+                                   config.degrade_low_watermark,
+                                   rings[owned[i]]->capacity()),
+                     std::nullopt, 0, 0});
+      if (config.degrade_enabled) {
+        ctx.back().gate.emplace(
+            config.degrade_sample_prob,
+            config.seed ^ (0xdeadbeefULL + owned[i] * 0x9e3779b9ULL));
+      }
+    }
+    uint64_t local_exact = 0;
+    uint64_t local_degraded = 0;
+    uint64_t local_steals = 0;
+    uint64_t local_stolen = 0;
+    uint64_t local_rotations = 0;
+    uint64_t local_refusals = 0;
+    uint64_t local_progress = 0;
+    uint64_t idle_streak = 0;
+    std::vector<Packet> batch(drain_batch);
+
+    // Apply a batch into shard `s`'s active sketch, guarded by the
+    // writer-exclusion probe. Returns the weight actually applied (exact
+    // mode: the batch's weight sum; degraded: compensated admitted weight).
+    const auto apply = [&](size_t s, size_t n, bool degraded_mode,
+                           core::SamplingGate* gate) -> uint64_t {
+      uint32_t expected = 0;
+      const bool claimed = sketch_writer[s].compare_exchange_strong(
+          expected, static_cast<uint32_t>(w) + 1, std::memory_order_acq_rel,
+          std::memory_order_relaxed);
+      if (!claimed) {
+        single_writer_violated.store(true, std::memory_order_relaxed);
+      }
+      Sketch* sk = shards[s]->active();
+      uint64_t applied = 0;
+      if (degraded_mode) {
+        for (size_t i = 0; i < n; ++i) {
+          if (gate->Admit()) {
+            const uint32_t cw = gate->CompensatedWeight(batch[i].weight);
+            sk->Update(batch[i].key, cw);
+            applied += cw;
+          }
+        }
+      } else {
+        sk->UpdateBatch(batch.data(), n);
+        for (size_t i = 0; i < n; ++i) applied += batch[i].weight;
+      }
+      if (claimed) sketch_writer[s].store(0, std::memory_order_release);
+      return applied;
+    };
+
+    // Drain up to `rounds` batches from owned shard `s`. The consumer token
+    // guards only the POP (the ring's consumer cursor) and is released
+    // before the sketch apply: the apply is the expensive part, and holding
+    // the token across it would leave a preempted owner blocking every
+    // steal attempt for its whole descheduled stretch.
+    const auto drain_shard = [&](size_t i, size_t rounds) -> size_t {
+      const size_t s = owned[i];
+      size_t drained = 0;
+      for (size_t r = 0; r < rounds; ++r) {
+        const size_t occupancy =
+            config.degrade_enabled ? rings[s]->SizeApprox() : 0;
+        if (!rings[s]->TryAcquireConsumer()) break;  // thief mid-pop: skip
+        const size_t n = rings[s]->PopBatch(batch.data(), drain_batch);
+        rings[s]->ReleaseConsumer();
+        if (n == 0) break;
+        const bool degraded_mode =
+            config.degrade_enabled && ctx[i].ladder.OnOccupancy(occupancy);
+        const uint64_t applied = apply(
+            s, n, degraded_mode,
+            ctx[i].gate.has_value() ? &*ctx[i].gate : nullptr);
+        ctx[i].epoch_weight += applied;
+        (degraded_mode ? local_degraded : local_exact) += n;
+        if (metrics[s].exact) {
+          (degraded_mode ? metrics[s].degraded : metrics[s].exact)->Add(n);
+        }
+        drained += n;
+      }
+      return drained;
+    };
+
+    // Bounded steal: fullest foreign ring above the occupancy threshold,
+    // at most steal_batches batches, records re-steered to `home`.
+    const size_t steal_floor = std::max<size_t>(
+        1, static_cast<size_t>(config.steal_threshold *
+                               static_cast<double>(config.ring_capacity)));
+    const auto try_steal = [&]() -> size_t {
+      if (!config.stealing_enabled || config.steal_batches == 0) return 0;
+      size_t victim = S;
+      size_t best_occ = steal_floor - 1;
+      for (size_t s = 0; s < S; ++s) {
+        if (topo.shard_owner[s] == w) continue;
+        const size_t occ = rings[s]->SizeApprox();
+        if (occ > best_occ) {
+          victim = s;
+          best_occ = occ;
+        }
+      }
+      if (victim == S) return 0;
+      size_t stolen = 0;
+      for (size_t b = 0; b < config.steal_batches; ++b) {
+        // Token per batch, covering only the pop — the owner can reclaim
+        // its ring between the thief's batches.
+        if (!rings[victim]->TryAcquireConsumer()) break;
+        const size_t n = rings[victim]->PopBatch(batch.data(), drain_batch);
+        rings[victim]->ReleaseConsumer();
+        if (n == 0) break;
+        // Stolen work is applied at full fidelity into the thief's own
+        // shard (ctx[0] == home): single-writer holds, and the victim's
+        // backlog (the thing the ladder keys off) shrinks.
+        ctx[0].epoch_weight += apply(home, n, false, nullptr);
+        local_exact += n;
+        if (metrics[home].exact) metrics[home].exact->Add(n);
+        stolen += n;
+      }
+      if (stolen > 0) {
+        ++local_steals;
+        local_stolen += stolen;
+        if (metrics[home].steal_events) {
+          metrics[home].steal_events->Add(1);
+          metrics[home].stolen_records->Add(stolen);
+        }
+      }
+      return stolen;
+    };
+
+    // Occupancy snapshot buffer for proportional polling.
+    std::vector<std::pair<size_t, size_t>> occ_order(owned.size());
+
+    for (;;) {
+      // Proportional polling: fullest owned ring first, drain budget
+      // proportional to its backlog (1..4 batches), at least one attempt
+      // per ring per cycle so no owned shard starves.
+      for (size_t i = 0; i < owned.size(); ++i) {
+        occ_order[i] = {rings[owned[i]]->SizeApprox(), i};
+      }
+      std::sort(occ_order.begin(), occ_order.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      size_t drained = 0;
+      for (const auto& [occ, i] : occ_order) {
+        const size_t rounds = 1 + std::min<size_t>(3, occ / drain_batch);
+        drained += drain_shard(i, rounds);
+        if (metrics[owned[i]].occupancy) {
+          metrics[owned[i]].occupancy->Set(
+              static_cast<double>(rings[owned[i]]->SizeApprox()));
+        }
+      }
+
+      // Rotation check, once per polling cycle (== at a batch boundary).
+      const uint64_t req = requested_epoch.load(std::memory_order_acquire);
+      for (size_t i = 0; i < owned.size(); ++i) {
+        if (ctx[i].cur_epoch >= req) continue;
+        const size_t s = owned[i];
+        if (shards[s]->TryRotate(req, ctx[i].epoch_weight)) {
+          ctx[i].epoch_weight = 0;
+          ctx[i].cur_epoch = req;
+          ++local_rotations;
+          epoch_done[s].store(req, std::memory_order_release);
+          if (metrics[s].epoch) {
+            metrics[s].epoch->Set(static_cast<double>(req));
+          }
+        } else {
+          ++local_refusals;
+        }
+      }
+
+      if (drained == 0) drained = try_steal();
+
+      if (drained == 0) {
+        // Exit test. Without stealing a worker answers only for its own
+        // shards; with stealing it stays available as a thief until the
+        // WHOLE run is drained — an idle core that left early would strand
+        // exactly the skewed backlogs stealing exists for.
+        bool done = true;
+        const bool whole_run =
+            config.stealing_enabled && config.steal_batches > 0;
+        for (size_t s = 0; s < S; ++s) {
+          if (!whole_run && topo.shard_owner[s] != w) continue;
+          if (!producer_done[s].load(std::memory_order_acquire) ||
+              rings[s]->SizeApprox() != 0) {
+            done = false;
+            break;
+          }
+        }
+        if (done) break;
+        // A persistently idle worker (nothing owned, nothing stealable)
+        // backs off from yield to a short sleep: on an oversubscribed host
+        // a spinning thief is stealing CPU from the workers it would help,
+        // and 50us is far below the time a steal-worthy backlog persists.
+        if (++idle_streak > 64) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } else {
+          std::this_thread::yield();
+        }
+      } else {
+        idle_streak = 0;
+        drained_total.fetch_add(drained, std::memory_order_relaxed);
+        local_progress += drained;
+        worker_progress[w].store(local_progress, std::memory_order_relaxed);
+      }
+    }
+
+    // Export residual epoch weights, then retire the owned shards so the
+    // collector stops waiting on them (their mass moves to the final sweep).
+    for (size_t i = 0; i < owned.size(); ++i) {
+      final_epoch_weight[owned[i]] = ctx[i].epoch_weight;
+    }
+    for (const size_t s : owned) {
+      epoch_done[s].store(kShardRetired, std::memory_order_release);
+    }
+    total_exact.fetch_add(local_exact, std::memory_order_relaxed);
+    total_degraded.fetch_add(local_degraded, std::memory_order_relaxed);
+    steal_events.fetch_add(local_steals, std::memory_order_relaxed);
+    stolen_records.fetch_add(local_stolen, std::memory_order_relaxed);
+    rotations.fetch_add(local_rotations, std::memory_order_relaxed);
+    rotation_refusals.fetch_add(local_refusals, std::memory_order_relaxed);
+    worker_done[w].store(true, std::memory_order_release);
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(W);
+  for (size_t w = 0; w < W; ++w) workers.emplace_back(worker_fn, w);
+
+  // Everyone is spawned; open the gate and start the measured clock.
+  wall.Restart();
+  start_gate.store(true, std::memory_order_release);
+
+  // ---- Optional stall watchdog (flag-only). ----
+  std::atomic<bool> stop_watchdog{false};
+  std::thread watchdog;
+  if (config.watchdog_timeout_ms > 0) {
+    watchdog = std::thread([&] {
+      std::vector<StallDetector> detectors;
+      detectors.reserve(W);
+      for (size_t w = 0; w < W; ++w) {
+        detectors.emplace_back(config.watchdog_timeout_ms);
+      }
+      Stopwatch clock;
+      while (!stop_watchdog.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        const uint64_t now_ms =
+            static_cast<uint64_t>(clock.ElapsedSeconds() * 1e3);
+        for (size_t w = 0; w < W; ++w) {
+          if (worker_done[w].load(std::memory_order_acquire)) continue;
+          bool pending = false;
+          for (const size_t s : topo.worker_shards[w]) {
+            if (!producer_done[s].load(std::memory_order_acquire) ||
+                rings[s]->SizeApprox() != 0) {
+              pending = true;
+              break;
+            }
+          }
+          if (detectors[w].Observe(
+                  worker_progress[w].load(std::memory_order_relaxed), now_ms,
+                  pending)) {
+            stalls_detected.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  // ---- Epoch collector: requests rotations on a drained-packet cadence
+  // and folds each published epoch while the writers keep running. ----
+  std::vector<EpochRecord> epochs;
+  std::unordered_map<FiveTuple, uint64_t> merged_table;
+  Rng merge_rng(config.seed ^ 0xe90c4ULL);
+  std::thread collector;
+  uint64_t last_requested = 0;
+  if (config.rotation_interval_packets > 0) {
+    collector = std::thread([&] {
+      uint64_t next_mark = config.rotation_interval_packets;
+      uint64_t epoch = 0;
+      for (;;) {
+        bool all_done;
+        for (;;) {
+          all_done = true;
+          for (size_t w = 0; w < W; ++w) {
+            if (!worker_done[w].load(std::memory_order_acquire)) {
+              all_done = false;
+              break;
+            }
+          }
+          if (all_done ||
+              drained_total.load(std::memory_order_relaxed) >= next_mark) {
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+        if (all_done) break;
+
+        ++epoch;
+        requested_epoch.store(epoch, std::memory_order_release);
+        if (config.registry != nullptr) {
+          config.registry->GetGauge(config.metrics_prefix + ".run.epoch")
+              ->Set(static_cast<double>(epoch));
+        }
+
+        EpochRecord rec;
+        rec.epoch = epoch;
+        std::vector<std::pair<size_t, EpochShard<FiveTuple>::Published>>
+            taken;
+        taken.reserve(S);
+        for (size_t s = 0; s < S; ++s) {
+          // Wait for the shard to serve this epoch — or for its worker to
+          // retire, in which case the shard's mass lands in the final sweep.
+          while (epoch_done[s].load(std::memory_order_acquire) < epoch &&
+                 !worker_done[topo.shard_owner[s]].load(
+                     std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+          auto pub = shards[s]->TakePublished();
+          if (pub.sketch != nullptr) {
+            rec.applied_weight += pub.applied_weight;
+            rec.sketch_mass += pub.sketch->TotalValue();
+            ++rec.shards_published;
+            taken.emplace_back(s, std::move(pub));
+          }
+        }
+        std::vector<const Sketch*> sources;
+        sources.reserve(taken.size());
+        for (const auto& [s, pub] : taken) sources.push_back(pub.sketch.get());
+        rec.merge_conflicts =
+            FoldEpochSketches(sources, per_shard_memory, config.d,
+                              config.seed, &merge_rng, &merged_table);
+        // Recycling re-arms each shard's next rotation; Clear() runs here,
+        // on the collector thread, never on a writer.
+        for (auto& [s, pub] : taken) {
+          shards[s]->Recycle(std::move(pub.sketch));
+        }
+        epochs.push_back(rec);
+        next_mark += config.rotation_interval_packets;
+      }
+      last_requested = requested_epoch.load(std::memory_order_relaxed);
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  for (auto& t : workers) t.join();
+  if (collector.joinable()) collector.join();
+  stop_watchdog.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
+  const double seconds = wall.ElapsedSeconds();
+
+  // ---- Final quiescent sweep: leftover published epochs plus the active
+  // sketches, folded as one last epoch record. ----
+  EpochRecord final_rec;
+  final_rec.epoch = last_requested + 1;
+  std::vector<EpochShard<FiveTuple>::Published> leftovers;
+  std::vector<const Sketch*> sources;
+  for (size_t s = 0; s < S; ++s) {
+    auto pub = shards[s]->TakePublished();
+    if (pub.sketch != nullptr) {
+      final_rec.applied_weight += pub.applied_weight;
+      final_rec.sketch_mass += pub.sketch->TotalValue();
+      leftovers.push_back(std::move(pub));
+    }
+    Sketch* active = shards[s]->active();
+    final_rec.applied_weight += final_epoch_weight[s];
+    final_rec.sketch_mass += active->TotalValue();
+    sources.push_back(active);
+    ++final_rec.shards_published;
+  }
+  for (const auto& pub : leftovers) sources.push_back(pub.sketch.get());
+  final_rec.merge_conflicts =
+      FoldEpochSketches(sources, per_shard_memory, config.d, config.seed,
+                        &merge_rng, &merged_table);
+  epochs.push_back(final_rec);
+
+  result.packets_exact = total_exact.load();
+  result.packets_degraded = total_degraded.load();
+  result.packets_processed = result.packets_exact + result.packets_degraded;
+  for (size_t s = 0; s < S; ++s) result.rx_dropped += rings[s]->rx_dropped();
+  result.mpps = seconds == 0.0
+                    ? 0.0
+                    : static_cast<double>(result.packets_processed) /
+                          seconds / 1e6;
+  result.steal_events = steal_events.load();
+  result.stolen_records = stolen_records.load();
+  result.rotations = rotations.load();
+  result.rotation_refusals = rotation_refusals.load();
+  result.stalls_detected = stalls_detected.load();
+  result.single_writer_ok = !single_writer_violated.load();
+  result.epochs = std::move(epochs);
+  for (const EpochRecord& rec : result.epochs) {
+    result.total_sketch_mass += rec.sketch_mass;
+  }
+  result.merged_table = std::move(merged_table);
+
+  if (config.registry != nullptr) {
+    const std::string run = config.metrics_prefix + ".run.";
+    config.registry->GetGauge(run + "mpps")->Set(result.mpps);
+    config.registry->GetGauge(run + "num_shards")
+        ->Set(static_cast<double>(S));
+    config.registry->GetGauge(run + "num_workers")
+        ->Set(static_cast<double>(W));
+    config.registry->GetGauge(run + "steal_events")
+        ->Set(static_cast<double>(result.steal_events));
+    config.registry->GetGauge(run + "rotations")
+        ->Set(static_cast<double>(result.rotations));
+  }
+  return result;
+}
+
+}  // namespace coco::ovs

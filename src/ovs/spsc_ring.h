@@ -92,6 +92,20 @@ class SpscRing {
     return n;
   }
 
+  // Consumer-token handoff for bounded work stealing (ovs/scaleout.h). The
+  // ring stays single-consumer AT ANY INSTANT — what changes is which thread
+  // that consumer is: the owning worker normally, an idle thief for one
+  // bounded steal. Every PopBatch/TryPop caller in a stealing topology must
+  // hold the token; test_and_set(acquire) / clear(release) hand the
+  // consumer-side cursor state (tail_ plus the cached_head_ cache) from one
+  // consumer to the next with the ordering a mutex would provide. Non-
+  // stealing deployments (the classic DatapathSim) never touch the token —
+  // zero added cost on their pop paths.
+  bool TryAcquireConsumer() {
+    return !consumer_token_.test_and_set(std::memory_order_acquire);
+  }
+  void ReleaseConsumer() { consumer_token_.clear(std::memory_order_release); }
+
   // Consumer side. Returns false when the ring is empty.
   bool TryPop(T& out) {
     const size_t tail = tail_.load(std::memory_order_relaxed);
@@ -112,6 +126,7 @@ class SpscRing {
   alignas(64) size_t cached_tail_ = 0;   // producer-local
   alignas(64) std::atomic<size_t> tail_{0};
   alignas(64) size_t cached_head_ = 0;   // consumer-local
+  alignas(64) std::atomic_flag consumer_token_ = ATOMIC_FLAG_INIT;
   size_t mask_;
   std::vector<T> slots_;
 };

@@ -1,0 +1,93 @@
+// RSS-style flow steering and shard placement for the multi-core scale-out
+// datapath (DESIGN.md "Multi-core scale-out"; ROADMAP NUMA/multi-core item).
+//
+// Steering: shard = Lemire-reduce(Hash64(full key, steering seed)) — a pure
+// function of (key, seed, num_shards), so the same flow always lands on the
+// same shard no matter how many worker threads poll, and every shard's
+// sketch has exactly one writer (the worker the placement assigns it to).
+// The steering seed is deliberately decoupled from the sketch hash seed:
+// correlating the two would make the per-shard bucket distribution a
+// function of the shard split, which the unbiasedness tests (and a
+// white-box adversary) would notice.
+//
+// Placement: shards are grouped onto workers, workers onto groups (NUMA
+// socket stand-ins), under a pluggable cost model — cost(shard, group) is
+// whatever the deployment knows about where a shard's producer data lives.
+// The placement is deterministic (stable tie-breaks) so topologies are
+// reproducible across runs and testable without threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "hash/bobhash.h"
+
+namespace coco::ovs {
+
+// Deterministic key -> shard map. Stateless beyond (seed, num_shards);
+// callable concurrently from any number of threads.
+class FlowSteering {
+ public:
+  FlowSteering(uint64_t seed, size_t num_shards)
+      : seed_(seed ^ kSteerSalt), shards_(num_shards) {
+    COCO_CHECK(num_shards >= 1, "steering needs at least one shard");
+  }
+
+  // Any key type exposing data()/size() (FiveTuple, IPv4Key, DynKey, ...).
+  template <typename Key>
+  size_t Shard(const Key& key) const {
+    const uint64_t h = hash::Hash64(key.data(), key.size(), seed_);
+    return static_cast<size_t>(
+        (static_cast<unsigned __int128>(h) * shards_) >> 64);
+  }
+
+  size_t num_shards() const { return shards_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  // Domain-separates the steering hash from the sketch's bucket hashes even
+  // when a caller passes the same base seed to both.
+  static constexpr uint64_t kSteerSalt = 0x5245454e47ULL;  // "STEERNG"
+
+  uint64_t seed_;
+  size_t shards_;
+};
+
+// Cost of placing `shard`'s consumer on `group` (a socket). Lower is better;
+// the scale is the caller's (cross-socket hops, cache-miss penalties, ...).
+using PlacementCost = std::function<double(size_t shard, size_t group)>;
+
+// A NUMA-flavored default: shard s's producer data is "homed" on group
+// (s * num_groups / num_shards); consuming it from any other group costs
+// `penalty`. With this model and enough per-group worker capacity,
+// PlaceShards keeps every shard on its home socket.
+PlacementCost NumaHomeCost(size_t num_shards, size_t num_groups,
+                           double penalty = 1.0);
+
+// The shard-group topology the scale-out datapath runs: which worker owns
+// which shards, which group each worker sits on, and the total placement
+// cost under the model that produced it.
+struct ShardTopology {
+  size_t num_shards = 0;
+  size_t num_workers = 0;
+  size_t num_groups = 0;
+  std::vector<size_t> shard_owner;               // shard -> worker
+  std::vector<size_t> worker_group;              // worker -> group
+  std::vector<std::vector<size_t>> worker_shards;  // worker -> owned shards
+  double placement_cost = 0.0;
+};
+
+// Assigns workers to groups in contiguous blocks and shards to workers by a
+// greedy cost-then-load rule: each shard (in index order) goes to the
+// cheapest worker with spare capacity (capacity = ceil(S/W), so ownership
+// stays balanced); ties break toward the least-loaded, then lowest-index
+// worker. `cost == nullptr` means uniform (placement degenerates to balanced
+// block assignment). Deterministic: same inputs, same topology.
+ShardTopology PlaceShards(size_t num_shards, size_t num_workers,
+                          size_t num_groups,
+                          const PlacementCost& cost = nullptr);
+
+}  // namespace coco::ovs

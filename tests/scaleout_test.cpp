@@ -1,0 +1,474 @@
+// Multi-core scale-out concurrency battery (DESIGN.md "Multi-core
+// scale-out"): steering determinism and balance, placement under cost
+// models, shard-merge fidelity against monolithic decode, epoch rotation
+// (writers never blocked, per-epoch mass conservation, no torn reads),
+// bounded work stealing on adversarially skewed fill, and the
+// discovery-based conservation check across runtime-variable shard counts.
+//
+// Thread counts scale with COCO_TEST_THREADS (CI runs the battery at 2 and
+// at the host's hardware concurrency); every threaded test also runs under
+// TSan and ASan via scripts/run_sanitizers.sh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sizes.h"
+#include "core/cocosketch.h"
+#include "core/merge.h"
+#include "obs/metrics.h"
+#include "ovs/datapath_sim.h"
+#include "ovs/epoch.h"
+#include "ovs/scaleout.h"
+#include "ovs/steering.h"
+#include "packet/keys.h"
+#include "trace/adversarial.h"
+#include "trace/generators.h"
+#include "trace/ground_truth.h"
+
+namespace coco::ovs {
+namespace {
+
+using core::CocoSketch;
+
+// Worker-thread knob for the concurrency tests. CI exports
+// COCO_TEST_THREADS=2 and =<hardware concurrency> on the scalar legs.
+size_t TestThreads() {
+  if (const char* env = std::getenv("COCO_TEST_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  return 4;
+}
+
+uint64_t TraceWeight(const std::vector<Packet>& trace) {
+  uint64_t total = 0;
+  for (const Packet& p : trace) total += p.weight;
+  return total;
+}
+
+uint64_t TableMass(const std::unordered_map<FiveTuple, uint64_t>& table) {
+  uint64_t total = 0;
+  for (const auto& [key, value] : table) total += value;
+  return total;
+}
+
+// Rewrites every packet's src_port until the flow steers to `target` — the
+// adversarial all-mass-on-one-shard fill for the stealing tests.
+std::vector<Packet> RetargetToShard(std::vector<Packet> trace,
+                                    const FlowSteering& steering,
+                                    size_t target) {
+  for (Packet& p : trace) {
+    FiveTuple k = p.key;
+    uint16_t port = k.src_port();
+    while (steering.Shard(k) != target) {
+      ++port;
+      k = FiveTuple(k.src_ip(), k.dst_ip(), port, k.dst_port(), k.proto());
+    }
+    p.key = k;
+  }
+  return trace;
+}
+
+// ---- Flow steering --------------------------------------------------------
+
+TEST(Steering, DeterministicPureFunctionOfSeedAndShards) {
+  const auto trace = trace::GenerateTrace(trace::TraceConfig::CaidaLike(5000));
+  const FlowSteering a(42, 8), b(42, 8), other_seed(43, 8);
+  bool any_differs_across_seeds = false;
+  for (const Packet& p : trace) {
+    const size_t s = a.Shard(p.key);
+    ASSERT_LT(s, 8u);
+    // Two instances with the same (seed, shards) agree on every key — the
+    // property that makes shard ownership meaningful across restarts and
+    // across any number of polling threads.
+    ASSERT_EQ(s, b.Shard(p.key));
+    any_differs_across_seeds |= s != other_seed.Shard(p.key);
+  }
+  EXPECT_TRUE(any_differs_across_seeds);
+}
+
+TEST(Steering, BalancedOverFlows) {
+  const size_t shards = 8;
+  const FlowSteering steering(7, shards);
+  std::vector<size_t> hist(shards, 0);
+  Rng rng(11);
+  const size_t flows = 100000;
+  for (size_t i = 0; i < flows; ++i) {
+    const FiveTuple key(static_cast<uint32_t>(rng.Next()),
+                        static_cast<uint32_t>(rng.Next()),
+                        static_cast<uint16_t>(rng.Next()),
+                        static_cast<uint16_t>(rng.Next()), 6);
+    ++hist[steering.Shard(key)];
+  }
+  const double mean = static_cast<double>(flows) / shards;
+  for (size_t s = 0; s < shards; ++s) {
+    EXPECT_GT(hist[s], mean * 0.9) << "shard " << s;
+    EXPECT_LT(hist[s], mean * 1.1) << "shard " << s;
+  }
+}
+
+TEST(Steering, ShardAssignmentIndependentOfWorkerCount) {
+  // The per-shard offered counters are a pure function of the steering seed
+  // — one worker or many, every flow lands on the same shard.
+  const size_t S = 4;
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(30000));
+  ScaleoutConfig config;
+  config.num_shards = S;
+  config.steering_seed = 99;
+  config.stealing_enabled = false;
+
+  obs::Registry reg_one, reg_many;
+  config.num_workers = 1;
+  config.registry = &reg_one;
+  RunScaleout(config, trace);
+  config.num_workers = S;
+  config.registry = &reg_many;
+  RunScaleout(config, trace);
+
+  for (size_t s = 0; s < S; ++s) {
+    const std::string name = "scaleout.q" + std::to_string(s) + ".offered";
+    EXPECT_EQ(reg_one.GetCounter(name)->Value(),
+              reg_many.GetCounter(name)->Value())
+        << name;
+  }
+}
+
+// ---- Placement ------------------------------------------------------------
+
+TEST(Placement, UniformCostBalancesWithinOneShard) {
+  const ShardTopology topo = PlaceShards(10, 4, 1);
+  ASSERT_EQ(topo.shard_owner.size(), 10u);
+  std::vector<size_t> load(4, 0);
+  for (size_t s = 0; s < 10; ++s) {
+    ASSERT_LT(topo.shard_owner[s], 4u);
+    ++load[topo.shard_owner[s]];
+  }
+  for (size_t w = 0; w < 4; ++w) {
+    EXPECT_GE(load[w], 2u);
+    EXPECT_LE(load[w], 3u);  // capacity = ceil(10/4)
+    EXPECT_EQ(load[w], topo.worker_shards[w].size());
+    for (const size_t s : topo.worker_shards[w]) {
+      EXPECT_EQ(topo.shard_owner[s], w);
+    }
+  }
+  EXPECT_EQ(topo.placement_cost, 0.0);
+}
+
+TEST(Placement, NumaHomeCostKeepsShardsOnTheirSocket) {
+  const size_t S = 8, W = 4, G = 2;
+  const ShardTopology topo = PlaceShards(S, W, G, NumaHomeCost(S, G));
+  // Workers 0,1 -> group 0; workers 2,3 -> group 1.
+  EXPECT_EQ(topo.worker_group, (std::vector<size_t>{0, 0, 1, 1}));
+  // Shards 0..3 are homed on group 0, 4..7 on group 1; with capacity for
+  // all of them there, the greedy placement pays zero cross-socket cost.
+  for (size_t s = 0; s < S; ++s) {
+    const size_t home = s * G / S;
+    EXPECT_EQ(topo.worker_group[topo.shard_owner[s]], home) << "shard " << s;
+  }
+  EXPECT_EQ(topo.placement_cost, 0.0);
+}
+
+TEST(Placement, CapacityOverridesCostModel) {
+  // A cost model that prefers group 0 for every shard cannot overload it:
+  // capacity caps each worker at ceil(S/W) shards.
+  const auto prefer_group0 = [](size_t, size_t group) {
+    return group == 0 ? 0.0 : 1.0;
+  };
+  const ShardTopology topo = PlaceShards(8, 4, 2, prefer_group0);
+  for (size_t w = 0; w < 4; ++w) EXPECT_EQ(topo.worker_shards[w].size(), 2u);
+  EXPECT_GT(topo.placement_cost, 0.0);  // the overflow shards paid
+}
+
+// ---- Shard-merge fidelity (no threads) ------------------------------------
+
+TEST(ShardMerge, SteeredShardsMergeToMonolithicFidelity) {
+  // Steer a trace into S single-writer shard sketches, merge sketch-level,
+  // and compare the decode against a monolithic sketch over the same trace:
+  // exact mass conservation, and heavy-hitter estimates of comparable
+  // accuracy (the PR 4 merge-unbiasedness argument applied to RSS shards).
+  const size_t S = 4;
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(120000));
+  const uint64_t seed = 0xfeed;
+  const FlowSteering steering(21, S);
+
+  CocoSketch<FiveTuple> mono(KiB(256), 2, seed);
+  std::vector<std::unique_ptr<CocoSketch<FiveTuple>>> shards;
+  for (size_t s = 0; s < S; ++s) {
+    shards.push_back(
+        std::make_unique<CocoSketch<FiveTuple>>(KiB(256) / S, 2, seed));
+  }
+  for (const Packet& p : trace) {
+    mono.Update(p.key, p.weight);
+    shards[steering.Shard(p.key)]->Update(p.key, p.weight);
+  }
+
+  CocoSketch<FiveTuple> merged(KiB(256) / S, 2, seed);
+  std::vector<const CocoSketch<FiveTuple>*> sources;
+  uint64_t shard_mass = 0;
+  for (const auto& sk : shards) {
+    sources.push_back(sk.get());
+    shard_mass += sk->TotalValue();
+  }
+  Rng rng(5);
+  const core::MergeStats stats = core::MergeAll(&merged, sources, &rng);
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(stats.saturated, 0u);
+
+  const uint64_t total = TraceWeight(trace);
+  EXPECT_EQ(mono.TotalValue(), total);
+  EXPECT_EQ(shard_mass, total);
+  EXPECT_EQ(merged.TotalValue(), total);
+
+  // Heavy-hitter fidelity: decoded estimates for the top ground-truth flows
+  // track the truth about as well as the monolithic sketch does.
+  const auto truth = trace::CountTrace(trace);
+  std::vector<std::pair<uint64_t, FiveTuple>> top;
+  for (const auto& [key, count] : truth.counts()) top.push_back({count, key});
+  std::sort(top.begin(), top.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const auto merged_table = merged.Decode();
+  double err_sum = 0.0;
+  const size_t n = std::min<size_t>(20, top.size());
+  for (size_t i = 0; i < n; ++i) {
+    const auto it = merged_table.find(top[i].second);
+    const double est =
+        it == merged_table.end() ? 0.0 : static_cast<double>(it->second);
+    err_sum += std::abs(est - static_cast<double>(top[i].first)) /
+               static_cast<double>(top[i].first);
+  }
+  EXPECT_LT(err_sum / static_cast<double>(n), 0.35);
+}
+
+// ---- Epoch rotation -------------------------------------------------------
+
+TEST(Epoch, RotateRefuseRecycleCycle) {
+  EpochShard<FiveTuple> shard(KiB(64), 2, 7);
+  const FiveTuple key(1, 2, 3, 4, 6);
+  shard.active()->Update(key, 10);
+  ASSERT_TRUE(shard.TryRotate(1, 10));
+  EXPECT_TRUE(shard.HasPublished());
+  EXPECT_EQ(shard.PublishedEpoch(), 1u);
+
+  // Reader lagging: the published slot is occupied, so rotation refuses —
+  // without blocking — and the writer keeps filling the fresh active.
+  shard.active()->Update(key, 5);
+  EXPECT_FALSE(shard.TryRotate(2, 5));
+  shard.active()->Update(key, 5);  // writer is demonstrably not stalled
+
+  auto pub = shard.TakePublished();
+  ASSERT_NE(pub.sketch, nullptr);
+  EXPECT_EQ(pub.epoch, 1u);
+  EXPECT_EQ(pub.applied_weight, 10u);
+  // Per-epoch conservation: the published sketch's mass equals the weight
+  // the writer says it applied.
+  EXPECT_EQ(pub.sketch->TotalValue(), pub.applied_weight);
+
+  // Spare not yet recycled: still refused.
+  EXPECT_FALSE(shard.TryRotate(2, 10));
+  shard.Recycle(std::move(pub.sketch));
+  ASSERT_TRUE(shard.TryRotate(2, 10));
+  auto pub2 = shard.TakePublished();
+  ASSERT_NE(pub2.sketch, nullptr);
+  EXPECT_EQ(pub2.epoch, 2u);
+  EXPECT_EQ(pub2.sketch->TotalValue(), 10u);  // recycled sketch was cleared
+}
+
+TEST(Scaleout, RotationUnderLoadConservesMassPerEpoch) {
+  // Epochs rotate while the workers are mid-stream. Each collected epoch
+  // must be internally consistent (sketch mass == writer-side applied
+  // weight: no torn reads, no lost or double-applied batches), and the
+  // epochs must partition the whole trace's mass exactly.
+  const size_t S = std::max<size_t>(TestThreads(), 2);
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(120000));
+  obs::Registry registry;
+  ScaleoutConfig config;
+  config.num_shards = S;
+  config.num_workers = S;
+  config.nic_rate_mpps = 2.0;  // stretch the run so epochs land mid-stream
+  config.rotation_interval_packets = 10000;
+  config.registry = &registry;
+  const ScaleoutResult result = RunScaleout(config, trace);
+
+  EXPECT_EQ(result.packets_processed, trace.size());
+  EXPECT_TRUE(result.single_writer_ok);
+  EXPECT_GE(result.rotations, 1u);
+  ASSERT_GE(result.epochs.size(), 2u);  // at least one mid-run + final sweep
+
+  uint64_t epoch_mass = 0;
+  for (const EpochRecord& rec : result.epochs) {
+    EXPECT_EQ(rec.sketch_mass, rec.applied_weight) << "epoch " << rec.epoch;
+    epoch_mass += rec.sketch_mass;
+  }
+  const uint64_t total = TraceWeight(trace);
+  EXPECT_EQ(epoch_mass, total);
+  EXPECT_EQ(result.total_sketch_mass, total);
+  EXPECT_EQ(TableMass(result.merged_table), total);
+
+  const ConservationView view = ReadConservation(&registry, "scaleout");
+  EXPECT_TRUE(view.Holds());
+  EXPECT_EQ(view.offered, trace.size());
+}
+
+TEST(Scaleout, WritersNotStalledByMissingCollector) {
+  // No collector at all (rotation_interval_packets == 0): writers run the
+  // whole trace against their active sketches and the final sweep publishes
+  // everything. Rotation machinery must impose nothing on this path.
+  ScaleoutConfig config;
+  config.num_shards = 4;
+  config.num_workers = std::min<size_t>(TestThreads(), 4);
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(60000));
+  const ScaleoutResult result = RunScaleout(config, trace);
+  EXPECT_EQ(result.packets_processed, trace.size());
+  EXPECT_EQ(result.rotations, 0u);
+  ASSERT_EQ(result.epochs.size(), 1u);  // the final sweep only
+  EXPECT_EQ(result.total_sketch_mass, TraceWeight(trace));
+  EXPECT_EQ(TableMass(result.merged_table), TraceWeight(trace));
+}
+
+// ---- Work stealing --------------------------------------------------------
+
+TEST(Scaleout, StealingDrainsAdversariallySkewedFill) {
+  // Flash-crowd fill retargeted so every record steers to shard 0: worker 0
+  // owns all the work, everyone else is idle unless stealing engages. The
+  // battery checks (a) steals actually happen, (b) every record is counted
+  // exactly once globally, (c) the single-writer probe never trips — stolen
+  // records are re-steered to the thief's own sketch, not applied in place.
+  // Sized so the run spans many scheduler periods even on a one-core host:
+  // a few-ms run can end before the kernel ever schedules the idle workers,
+  // which tests the scheduler, not the stealing policy.
+  const size_t S = std::max<size_t>(std::min<size_t>(TestThreads(), 4), 2);
+  const uint64_t steer_seed = 77;
+  const FlowSteering steering(steer_seed, S);
+  const auto honest = trace::GenerateUniformTrace(400000, 2000, 9);
+  const auto crowd =
+      trace::BuildFlashCrowdTrace(honest, /*crowd_flows=*/50000,
+                                  /*packets_per_flow=*/20,
+                                  /*start_fraction=*/0.25, 13);
+  const auto trace = RetargetToShard(crowd.packets, steering, 0);
+
+  obs::Registry registry;
+  ScaleoutConfig config;
+  config.num_shards = S;
+  config.num_workers = S;
+  config.steering_seed = steer_seed;
+  // Deep enough to hold the whole crowd: the backlog on shard 0 then stands
+  // for the duration of the drain instead of oscillating with the producer's
+  // scheduling quantum, so idle thieves reliably observe it even when the
+  // host serializes every thread onto one core.
+  config.ring_capacity = size_t{1} << 18;
+  config.steal_threshold = 0.01;  // floor ~2.6k records on the deep ring
+  config.steal_batches = 8;
+  config.registry = &registry;
+  const ScaleoutResult result = RunScaleout(config, trace);
+
+  EXPECT_GT(result.steal_events, 0u);
+  EXPECT_GT(result.stolen_records, 0u);
+  EXPECT_EQ(result.packets_processed, trace.size());
+  EXPECT_TRUE(result.single_writer_ok);
+  EXPECT_EQ(result.total_sketch_mass, TraceWeight(trace));
+  EXPECT_EQ(TableMass(result.merged_table), TraceWeight(trace));
+
+  // Per-queue balance is intentionally broken by re-steering (shard 0's
+  // offered mass was partly applied elsewhere); only the global sum holds.
+  const ConservationView global = ReadConservation(&registry, "scaleout");
+  EXPECT_TRUE(global.Holds());
+  EXPECT_EQ(global.offered, trace.size());
+  const uint64_t q0_offered =
+      registry.GetCounter("scaleout.q0.offered")->Value();
+  const uint64_t q0_exact = registry.GetCounter("scaleout.q0.exact")->Value();
+  EXPECT_EQ(q0_offered, trace.size());
+  EXPECT_EQ(q0_offered, q0_exact + result.stolen_records);
+}
+
+TEST(Scaleout, DropModeConservationIncludesRxDrops) {
+  ScaleoutConfig config;
+  config.num_shards = 2;
+  config.num_workers = std::min<size_t>(TestThreads(), 2);
+  config.ring_capacity = 256;
+  config.overflow = OverflowPolicy::kDropNewest;
+  config.stealing_enabled = false;
+  obs::Registry registry;
+  config.registry = &registry;
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(80000));
+  const ScaleoutResult result = RunScaleout(config, trace);
+  EXPECT_EQ(result.packets_processed + result.rx_dropped, trace.size());
+  const ConservationView view = ReadConservation(&registry, "scaleout");
+  EXPECT_TRUE(view.Holds());
+  EXPECT_EQ(view.offered, trace.size());
+  EXPECT_EQ(view.rx_dropped, result.rx_dropped);
+}
+
+TEST(Scaleout, WatchdogStaysQuietOnHealthyRun) {
+  ScaleoutConfig config;
+  config.num_shards = 2;
+  config.num_workers = std::min<size_t>(TestThreads(), 2);
+  config.watchdog_timeout_ms = 200;
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(40000));
+  const ScaleoutResult result = RunScaleout(config, trace);
+  EXPECT_EQ(result.stalls_detected, 0u);
+  EXPECT_EQ(result.packets_processed, trace.size());
+}
+
+// ---- Conservation across runtime-variable shard counts --------------------
+
+TEST(Conservation, DiscoveryCoversResizedQueuePool) {
+  // Two runs against ONE registry with different widths: a 4-queue run, then
+  // a 2-queue run. The explicit-count overload called with the current width
+  // silently forgets q2/q3's mass; the discovery overload scans the registry
+  // and keeps every queue that ever counted.
+  obs::Registry registry;
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(20000));
+  DatapathConfig config;
+  config.registry = &registry;
+  config.num_queues = 4;
+  RunDatapath(config, trace);
+  config.num_queues = 2;
+  RunDatapath(config, trace);
+
+  const ConservationView discovered = ReadConservation(&registry, "ovs");
+  EXPECT_TRUE(discovered.Holds());
+  EXPECT_EQ(discovered.offered, 2 * trace.size());
+
+  // The stale explicit call under-counts: q2/q3 retain the first run's mass.
+  const ConservationView stale = ReadConservation(&registry, 2, "ovs");
+  EXPECT_LT(stale.offered, 2 * trace.size());
+
+  // Dashboards read the CURRENT width from the gauge instead of baking it
+  // into call sites.
+  EXPECT_EQ(registry.GetGauge("ovs.run.num_queues")->Value(), 2.0);
+}
+
+TEST(Conservation, DiscoveryMatchesExplicitWhenWidthIsStable) {
+  obs::Registry registry;
+  const auto trace =
+      trace::GenerateTrace(trace::TraceConfig::CaidaLike(20000));
+  DatapathConfig config;
+  config.registry = &registry;
+  config.num_queues = 3;
+  RunDatapath(config, trace);
+  const ConservationView a = ReadConservation(&registry, 3, "ovs");
+  const ConservationView b = ReadConservation(&registry, "ovs");
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.exact, b.exact);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.rx_dropped, b.rx_dropped);
+  EXPECT_TRUE(b.Holds());
+}
+
+}  // namespace
+}  // namespace coco::ovs
